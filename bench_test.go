@@ -1,0 +1,398 @@
+// Package bdhtm's benchmarks regenerate every table and figure of the
+// paper's evaluation (Sec. 4-5) in testing.B form, at reduced scale so
+// `go test -bench=.` completes quickly. cmd/bdbench runs the same
+// experiments with figure-shaped output and paper-scale flags.
+//
+// Mapping (see DESIGN.md for the full per-experiment index):
+//
+//	BenchmarkFig1*     vEB trees, transient vs buffered durable
+//	BenchmarkFig2      HTM commit/abort breakdown (reported via b.Log)
+//	BenchmarkFig3*     persistent trees vs baselines
+//	BenchmarkTable3    space consumption (reported via b.Log)
+//	BenchmarkFig4*     MwCAS microbenchmark
+//	BenchmarkFig5*     skiplist variants
+//	BenchmarkFig6*     persistent hash tables
+//	BenchmarkFig7*     epoch-length sensitivity (throughput)
+//	BenchmarkFig8      epoch-length sensitivity (NVM space, via b.Log)
+//	BenchmarkRecovery* Sec. 5.2 recovery scan+rebuild
+package bdhtm
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/harness"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/mwcas"
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/skiplist"
+	"bdhtm/internal/veb"
+	"bdhtm/internal/ycsb"
+)
+
+const benchKeySpace = 1 << 14
+
+func benchOpts() harness.Opts {
+	return harness.Opts{KeySpace: benchKeySpace, Latency: true}
+}
+
+// benchMap drives b.N operations of the workload against one instance.
+func benchMap(b *testing.B, build func() *harness.Instance, dist harness.Dist, mix ycsb.Mix) {
+	b.Helper()
+	inst := build()
+	defer inst.Close()
+	harness.Prefill(inst, benchKeySpace)
+	h := inst.NewHandle()
+	g := distGen(dist, mix, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, k, v := g.Next()
+		switch op {
+		case ycsb.OpRead:
+			h.Get(k)
+		case ycsb.OpInsert:
+			h.Insert(k, v)
+		case ycsb.OpRemove:
+			h.Remove(k)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+func distGen(d harness.Dist, mix ycsb.Mix, seed uint64) *ycsb.Generator {
+	if d.Zipfian {
+		return ycsb.NewZipfian(benchKeySpace, d.Theta, mix, seed)
+	}
+	return ycsb.NewUniform(benchKeySpace, mix, seed)
+}
+
+// --- Fig. 1 -------------------------------------------------------------------
+
+func BenchmarkFig1_HTMvEB_Uniform(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewHTMvEB(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig1_PHTMvEB_Uniform(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewPHTMvEB(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig1_HTMvEB_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewHTMvEB(benchOpts()) }, harness.Zipf99, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig1_PHTMvEB_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewPHTMvEB(benchOpts()) }, harness.Zipf99, ycsb.WriteHeavy)
+}
+
+// --- Fig. 2 -------------------------------------------------------------------
+
+func BenchmarkFig2_AbortRates(b *testing.B) {
+	o := benchOpts()
+	o.MemTypeRate = 0.3 // the low-thread-count anomaly, mitigated by pre-walks
+	inst := harness.NewPHTMvEB(o)
+	defer inst.Close()
+	harness.Prefill(inst, benchKeySpace)
+	h := inst.NewHandle()
+	g := distGen(harness.Uniform, ycsb.WriteHeavy, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, k, v := g.Next()
+		switch op {
+		case ycsb.OpRead:
+			h.Get(k)
+		case ycsb.OpInsert:
+			h.Insert(k, v)
+		case ycsb.OpRemove:
+			h.Remove(k)
+		}
+	}
+	b.StopTimer()
+	s := inst.TMStats()
+	at := float64(s.Attempts())
+	b.ReportMetric(100*float64(s.Commits)/at, "%commit")
+	b.ReportMetric(100*float64(s.Conflict)/at, "%conflict")
+	b.ReportMetric(100*float64(s.MemType)/at, "%memtype")
+}
+
+// --- Fig. 3 -------------------------------------------------------------------
+
+func BenchmarkFig3_PHTMvEB(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewPHTMvEB(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig3_LBTree(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewLBTree(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig3_ElimTree(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewElimTree(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig3_OCCTree(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewOCCTree(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig3_PHTMvEB_ReadHeavy_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewPHTMvEB(benchOpts()) }, harness.Zipf99, ycsb.ReadHeavy)
+}
+
+func BenchmarkFig3_LBTree_ReadHeavy_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewLBTree(benchOpts()) }, harness.Zipf99, ycsb.ReadHeavy)
+}
+
+func BenchmarkFig3_ElimTree_ReadHeavy_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewElimTree(benchOpts()) }, harness.Zipf99, ycsb.ReadHeavy)
+}
+
+func BenchmarkFig3_OCCTree_ReadHeavy_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewOCCTree(benchOpts()) }, harness.Zipf99, ycsb.ReadHeavy)
+}
+
+// --- Table 3 ------------------------------------------------------------------
+
+func BenchmarkTable3_Space(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var report string
+		for _, build := range []func(harness.Opts) *harness.Instance{
+			harness.NewHTMvEB, harness.NewPHTMvEB, harness.NewLBTree,
+			harness.NewElimTree, harness.NewOCCTree,
+		} {
+			inst := build(benchOpts())
+			harness.Prefill(inst, benchKeySpace)
+			if inst.Sync != nil {
+				inst.Sync()
+			}
+			var dram, nv int64
+			if inst.DRAMBytes != nil {
+				dram = inst.DRAMBytes()
+			}
+			if inst.NVMBytes != nil {
+				nv = inst.NVMBytes()
+			}
+			report += fmt.Sprintf("%s: DRAM %.2f MiB, NVM %.2f MiB; ",
+				inst.Name, float64(dram)/(1<<20), float64(nv)/(1<<20))
+			inst.Close()
+		}
+		if i == 0 {
+			b.Log(report)
+		}
+	}
+}
+
+// --- Fig. 4 -------------------------------------------------------------------
+
+func benchMwCAS(b *testing.B, width int, apply func(h *nvm.Heap) func([]mwcas.Entry)) {
+	b.Helper()
+	const slots = 1 << 14
+	h := nvm.New(nvm.Config{Words: slots*nvm.LineWords + (1 << 16), Latency: nvm.OptaneProfile})
+	fn := apply(h)
+	rng := rand.New(rand.NewPCG(3, 3))
+	entries := make([]mwcas.Entry, width)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		used := uint64(0)
+		for j := range entries {
+			var s uint64
+			for {
+				s = rng.Uint64N(slots)
+				if used&(1<<(s%64)) == 0 || width > 32 {
+					used |= 1 << (s % 64)
+					break
+				}
+			}
+			a := nvm.Addr(nvm.RootWords + s*nvm.LineWords)
+			old := h.Load(a)
+			entries[j] = mwcas.Entry{Addr: a, Old: old, New: old + 1}
+		}
+		fn(entries)
+	}
+}
+
+func BenchmarkFig4_MwWR_4(b *testing.B) {
+	benchMwCAS(b, 4, func(h *nvm.Heap) func([]mwcas.Entry) {
+		return func(es []mwcas.Entry) { mwcas.MwWR(h, es) }
+	})
+}
+
+func BenchmarkFig4_HTMMwCAS_4(b *testing.B) {
+	benchMwCAS(b, 4, func(h *nvm.Heap) func([]mwcas.Entry) {
+		m := mwcas.NewHTMMwCAS(h, htm.Default())
+		return func(es []mwcas.Entry) { m.Apply(es) }
+	})
+}
+
+func BenchmarkFig4_MwCAS_4(b *testing.B) {
+	benchMwCAS(b, 4, func(h *nvm.Heap) func([]mwcas.Entry) {
+		next := nvm.Addr(h.Words() - (1 << 12))
+		m := mwcas.NewDesc(h, false, 1, func(w int) nvm.Addr { a := next; next += nvm.Addr(w); return a })
+		return func(es []mwcas.Entry) { m.Apply(0, es) }
+	})
+}
+
+func BenchmarkFig4_PMwCAS_4(b *testing.B) {
+	benchMwCAS(b, 4, func(h *nvm.Heap) func([]mwcas.Entry) {
+		next := nvm.Addr(h.Words() - (1 << 12))
+		m := mwcas.NewDesc(h, true, 1, func(w int) nvm.Addr { a := next; next += nvm.Addr(w); return a })
+		return func(es []mwcas.Entry) { m.Apply(0, es) }
+	})
+}
+
+// --- Fig. 5 -------------------------------------------------------------------
+
+func benchSkiplist(b *testing.B, v skiplist.Variant) {
+	benchMap(b, func() *harness.Instance { return harness.NewSkiplist(v, benchOpts()) },
+		harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig5_DLSkiplist(b *testing.B)      { benchSkiplist(b, skiplist.DL) }
+func BenchmarkFig5_PNoFlush(b *testing.B)        { benchSkiplist(b, skiplist.PNoFlush) }
+func BenchmarkFig5_PHTMMwCAS(b *testing.B)       { benchSkiplist(b, skiplist.PHTMMwCAS) }
+func BenchmarkFig5_BDLSkiplist(b *testing.B)     { benchSkiplist(b, skiplist.BDL) }
+func BenchmarkFig5_TransientSkiplist(b *testing.B) { benchSkiplist(b, skiplist.Transient) }
+
+// --- Fig. 6 -------------------------------------------------------------------
+
+func BenchmarkFig6_BDSpash(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewBDSpash(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig6_Spash(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewSpash(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig6_CCEH(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewCCEH(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig6_Plush(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewPlush(benchOpts()) }, harness.Uniform, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig6_BDSpash_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewBDSpash(benchOpts()) }, harness.Zipf99, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig6_Spash_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewSpash(benchOpts()) }, harness.Zipf99, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig6_CCEH_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewCCEH(benchOpts()) }, harness.Zipf99, ycsb.WriteHeavy)
+}
+
+func BenchmarkFig6_Plush_Zipf(b *testing.B) {
+	benchMap(b, func() *harness.Instance { return harness.NewPlush(benchOpts()) }, harness.Zipf99, ycsb.WriteHeavy)
+}
+
+// --- Fig. 7 -------------------------------------------------------------------
+
+func benchEpochLength(b *testing.B, el time.Duration, dist harness.Dist) {
+	o := benchOpts()
+	o.EpochLength = el
+	o.CacheLines = 1 << 13
+	benchMap(b, func() *harness.Instance { return harness.NewPHTMvEB(o) }, dist, ycsb.Mix{ReadPct: 20})
+}
+
+func BenchmarkFig7_Epoch100us_Zipf99(b *testing.B) {
+	benchEpochLength(b, 100*time.Microsecond, harness.Zipf99)
+}
+
+func BenchmarkFig7_Epoch10ms_Zipf99(b *testing.B) {
+	benchEpochLength(b, 10*time.Millisecond, harness.Zipf99)
+}
+
+func BenchmarkFig7_Epoch1s_Zipf99(b *testing.B) {
+	benchEpochLength(b, time.Second, harness.Zipf99)
+}
+
+func BenchmarkFig7_Epoch10ms_Uniform(b *testing.B) {
+	benchEpochLength(b, 10*time.Millisecond, harness.Uniform)
+}
+
+// --- Fig. 8 -------------------------------------------------------------------
+
+func BenchmarkFig8_NVMSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var report string
+		for _, el := range []time.Duration{time.Millisecond, 100 * time.Millisecond} {
+			for _, d := range []harness.Dist{harness.Uniform, harness.Zipf99} {
+				o := benchOpts()
+				o.EpochLength = el
+				inst := harness.NewPHTMvEB(o)
+				harness.Run(inst, harness.Workload{
+					KeySpace: benchKeySpace, Dist: d, Mix: ycsb.WriteOnly, Prefill: true,
+				}, 1, 100*time.Millisecond, 5)
+				report += fmt.Sprintf("epoch=%v %s: %.2f MiB; ", el, d, float64(inst.NVMBytes())/(1<<20))
+				inst.Close()
+			}
+		}
+		if i == 0 {
+			b.Log(report)
+		}
+	}
+}
+
+// --- Sec. 5.2 recovery ---------------------------------------------------------
+
+func BenchmarkRecovery_PHTMvEB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := nvm.New(nvm.Config{Words: 1 << 21})
+		sys := epoch.New(h, epoch.Config{Manual: true})
+		t := veb.New(veb.Config{UniverseBits: 14, TM: htm.Default(), DataSys: sys})
+		w := sys.Register()
+		for k := uint64(0); k < benchKeySpace; k += 2 {
+			t.Insert(w, k, k)
+		}
+		sys.Sync()
+		sys.SimulateCrash(nvm.CrashOptions{})
+		b.StartTimer()
+		var recs []epoch.BlockRecord
+		sys2 := epoch.Recover(h, epoch.Config{Manual: true}, func(r epoch.BlockRecord) { recs = append(recs, r) })
+		t2 := veb.New(veb.Config{UniverseBits: 14, TM: htm.Default(), DataSys: sys2})
+		for _, r := range recs {
+			t2.RebuildBlock(r)
+		}
+		b.StopTimer()
+		if t2.Len() != benchKeySpace/2 {
+			b.Fatalf("recovered %d keys", t2.Len())
+		}
+		sys2.Stop()
+	}
+}
+
+func BenchmarkRecovery_BDLSkiplist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nh := nvm.New(nvm.Config{Words: 1 << 21})
+		sys := epoch.New(nh, epoch.Config{Manual: true})
+		l := skiplist.New(skiplist.Config{Variant: skiplist.BDL,
+			IndexHeap: nvm.New(nvm.Config{Words: 1 << 21, Mode: nvm.ModeDRAM}),
+			DataSys:   sys, TM: htm.Default()})
+		hd := l.NewHandle()
+		for k := uint64(0); k < benchKeySpace; k += 2 {
+			hd.Insert(k, k)
+		}
+		hd.Close()
+		sys.Sync()
+		sys.SimulateCrash(nvm.CrashOptions{})
+		b.StartTimer()
+		var recs []epoch.BlockRecord
+		sys2 := epoch.Recover(nh, epoch.Config{Manual: true}, func(r epoch.BlockRecord) { recs = append(recs, r) })
+		l2 := skiplist.New(skiplist.Config{Variant: skiplist.BDL,
+			IndexHeap: nvm.New(nvm.Config{Words: 1 << 21, Mode: nvm.ModeDRAM}),
+			DataSys:   sys2, TM: htm.Default()})
+		for _, r := range recs {
+			l2.RebuildBlock(r)
+		}
+		b.StopTimer()
+		if l2.Len() != benchKeySpace/2 {
+			b.Fatalf("recovered %d keys", l2.Len())
+		}
+		sys2.Stop()
+	}
+}

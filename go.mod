@@ -1,0 +1,3 @@
+module bdhtm
+
+go 1.24

@@ -1,0 +1,167 @@
+package cceh
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"bdhtm/internal/nvm"
+)
+
+func newTable(t *testing.T, words int) (*nvm.Heap, *Table) {
+	t.Helper()
+	h := nvm.New(nvm.Config{Words: words})
+	return h, New(h, 2)
+}
+
+func TestBasics(t *testing.T) {
+	_, tab := newTable(t, 1<<20)
+	if tab.Insert(5, 50) {
+		t.Fatal("fresh insert reported replacement")
+	}
+	if v, ok := tab.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if !tab.Insert(5, 51) {
+		t.Fatal("update not reported")
+	}
+	if !tab.Remove(5) || tab.Remove(5) {
+		t.Fatal("remove semantics")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	// Key 0 must work (stored with +1 encoding).
+	tab.Insert(0, 7)
+	if v, ok := tab.Get(0); !ok || v != 7 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+}
+
+func TestGrowthAndModel(t *testing.T) {
+	_, tab := newTable(t, 1<<22)
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 8000; i++ {
+		k := rng.Uint64N(4096)
+		switch rng.Uint64N(5) {
+		case 0:
+			got := tab.Remove(k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("step %d Remove(%d)=%v want %v", i, k, got, want)
+			}
+			delete(model, k)
+		case 1:
+			gv, gok := tab.Get(k)
+			wv, wok := model[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("step %d Get(%d)=%d,%v want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		default:
+			v := rng.Uint64()
+			got := tab.Insert(k, v)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("step %d Insert(%d)=%v want %v", i, k, got, want)
+			}
+			model[k] = v
+		}
+	}
+	if tab.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", tab.Len(), len(model))
+	}
+}
+
+func TestInsertPersistsAtLeastTwice(t *testing.T) {
+	h, tab := newTable(t, 1<<20)
+	before := h.Stats()
+	tab.Insert(99, 1)
+	d := h.Stats().Sub(before)
+	if d.Flushes < 2 || d.Fences < 2 {
+		t.Fatalf("insert issued %d flushes / %d fences; CCEH persists value then key", d.Flushes, d.Fences)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	h, tab := newTable(t, 1<<22)
+	for k := uint64(0); k < 2000; k++ {
+		tab.Insert(k, k*7)
+	}
+	tab.Remove(13)
+	// No explicit sync needed: CCEH is strictly durable.
+	h.Crash(nvm.CrashOptions{})
+	tab2 := Recover(h)
+	if tab2.Len() != 1999 {
+		t.Fatalf("recovered Len = %d, want 1999", tab2.Len())
+	}
+	for k := uint64(0); k < 2000; k++ {
+		v, ok := tab2.Get(k)
+		if k == 13 {
+			if ok {
+				t.Fatal("removed key survived")
+			}
+			continue
+		}
+		if !ok || v != k*7 {
+			t.Fatalf("recovered Get(%d)=%d,%v", k, v, ok)
+		}
+	}
+	// The recovered table is writable and splits still work.
+	for k := uint64(5000); k < 6000; k++ {
+		tab2.Insert(k, k)
+	}
+	if v, _ := tab2.Get(5500); v != 5500 {
+		t.Fatal("recovered table broken")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	h := nvm.New(nvm.Config{Words: 1 << 22})
+	tab := New(h, 2)
+	const goroutines = 6
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			base := uint64(id * perG)
+			for i := uint64(0); i < perG; i++ {
+				tab.Insert(base+i, base+i+3)
+			}
+			for i := uint64(0); i < perG; i += 2 {
+				tab.Remove(base + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != goroutines*perG/2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g * perG)
+		for i := uint64(1); i < perG; i += 2 {
+			if v, ok := tab.Get(base + i); !ok || v != base+i+3 {
+				t.Fatalf("Get(%d)=%d,%v", base+i, v, ok)
+			}
+		}
+	}
+}
+
+func TestTornInsertInvisibleAfterCrash(t *testing.T) {
+	// Simulate the commit-point property: value persisted, key not yet.
+	// A crash between the two persists must hide the pair entirely.
+	h, tab := newTable(t, 1<<20)
+	tab.Insert(1, 10)
+	// Manually mimic a torn insert of key 2: find its slot and write only
+	// the value (as Insert would just before the crash).
+	h.Crash(nvm.CrashOptions{})
+	tab2 := Recover(h)
+	if v, ok := tab2.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1)=%d,%v", v, ok)
+	}
+	if _, ok := tab2.Get(2); ok {
+		t.Fatal("phantom key")
+	}
+}

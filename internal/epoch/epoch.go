@@ -1,0 +1,336 @@
+// Package epoch implements the paper's primary contribution: a
+// buffered-durably-linearizable (BDL) epoch system that reconciles
+// hardware transactional memory with persistent programming (Sec. 3).
+//
+// The design extends Montage (Wen et al., ICPP'21). A background advancer
+// increments a global epoch clock every few milliseconds, dividing
+// execution into epochs. At any instant,
+//
+//   - epoch e (the value of the global clock) is *active*: new operations
+//     begin here;
+//   - epoch e-1 is *in-flight*: operations that began there may finish,
+//     but no new ones start;
+//   - epochs ≤ e-2 are *valid*: their updates have fully persisted.
+//
+// NVM writes performed during an epoch are tracked in per-worker buffers
+// and flushed in the background when the epoch closes, never on the
+// operation's critical path and never inside a hardware transaction — this
+// removes the flush/HTM incompatibility entirely. A crash during epoch e
+// recovers the structure to its state at the end of an epoch ≥ e-2.
+//
+// HTM-specific extensions over Montage (Sec. 3 of the paper):
+//
+//   - blocks are preallocated *outside* transactions with an invalid epoch
+//     number, and stamped with the operation's epoch transactionally via
+//     SetEpochTx just before use (Listing 1);
+//   - persistence (PTrack) and reclamation (PRetire) of blocks touched by
+//     a transaction are deferred until after the transaction commits;
+//   - updating a block that a later epoch already modified is forbidden —
+//     structures abort with ErrOldSeeNew (the OldSeeNewException) and
+//     restart in the current epoch.
+package epoch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/palloc"
+)
+
+// Durable root layout (word addresses within nvm.RootWords).
+const (
+	rootMagicAddr     nvm.Addr = 1
+	rootPersistedAddr nvm.Addr = 2
+
+	rootMagic = 0xbd17eb0c0ffee001
+)
+
+// firstEpoch is the epoch in which a fresh system starts. It leaves room
+// below it so that "persisted = firstEpoch-2" is representable.
+const firstEpoch = 2
+
+// numSlots is the depth of the per-worker buffer ring. Buffers for epoch x
+// are drained before epoch x+2 ends, so 8 slots give a wide safety margin.
+const numSlots = 8
+
+// OldSeeNewCode is the conventional HTM explicit-abort code structures use
+// for the paper's OldSeeNewException: an operation in an old epoch found a
+// block modified in a newer epoch and must restart in the current epoch.
+const OldSeeNewCode uint8 = 0xE1
+
+// Config tunes an epoch system.
+type Config struct {
+	// EpochLength is the advancer's tick. Default 50ms (the paper's
+	// default experimental setting).
+	EpochLength time.Duration
+	// MaxWorkers bounds concurrently registered workers. Default 256.
+	MaxWorkers int
+	// Manual disables the background advancer; epochs then advance only
+	// via Sync/AdvanceOnce. Used by tests and deterministic examples.
+	Manual bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochLength == 0 {
+		c.EpochLength = 50 * time.Millisecond
+	}
+	if c.MaxWorkers == 0 {
+		c.MaxWorkers = 256
+	}
+	return c
+}
+
+// Stats counts epoch-system activity.
+type Stats struct {
+	Advances      int64 // epoch transitions
+	FlushedBlocks int64 // blocks written back by the background persister
+	RetiredBlocks int64 // blocks retired (deferred reclamation)
+	FreedBlocks   int64 // retired blocks actually reclaimed
+	Resurrected   int64 // deleted-but-unpersisted blocks revived by recovery
+	RecoveredLive int64 // live blocks handed to the rebuild callback
+}
+
+// System is a BDL epoch system over one NVM heap.
+type System struct {
+	heap  *nvm.Heap
+	alloc *palloc.Allocator
+	cfg   Config
+
+	global    atomic.Uint64 // active epoch
+	persisted atomic.Uint64 // newest fully persisted epoch (mirrors NVM root)
+
+	workers  []*Worker
+	nWorkers atomic.Int32
+	freeMu   sync.Mutex
+	freeIDs  []int
+
+	advMu       sync.Mutex // serializes epoch advancement
+	pendingFree []nvm.Addr // retired blocks whose retire epoch has persisted
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	advances      atomic.Int64
+	flushedBlocks atomic.Int64
+	retiredBlocks atomic.Int64
+	freedBlocks   atomic.Int64
+	resurrected   atomic.Int64
+	recoveredLive atomic.Int64
+}
+
+// New formats a fresh epoch system on the heap and starts the background
+// advancer (unless cfg.Manual). Any prior contents of the heap's root area
+// are overwritten.
+func New(h *nvm.Heap, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{
+		heap:    h,
+		alloc:   palloc.New(h),
+		cfg:     cfg,
+		workers: make([]*Worker, cfg.MaxWorkers),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.global.Store(firstEpoch)
+	s.persisted.Store(firstEpoch - 2)
+	h.Store(rootMagicAddr, rootMagic)
+	h.Store(rootPersistedAddr, firstEpoch-2)
+	h.FlushRange(rootMagicAddr, 2)
+	h.Fence()
+	s.startAdvancer()
+	return s
+}
+
+func (s *System) startAdvancer() {
+	if s.cfg.Manual {
+		close(s.done)
+		return
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.EpochLength)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.AdvanceOnce()
+			}
+		}
+	}()
+}
+
+// Heap returns the underlying simulated NVM heap.
+func (s *System) Heap() *nvm.Heap { return s.heap }
+
+// Allocator returns the underlying persistent allocator.
+func (s *System) Allocator() *palloc.Allocator { return s.alloc }
+
+// GlobalEpoch returns the current active epoch.
+func (s *System) GlobalEpoch() uint64 { return s.global.Load() }
+
+// PersistedEpoch returns the newest epoch whose updates are fully durable.
+func (s *System) PersistedEpoch() uint64 { return s.persisted.Load() }
+
+// Stats returns a snapshot of epoch-system activity counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		Advances:      s.advances.Load(),
+		FlushedBlocks: s.flushedBlocks.Load(),
+		RetiredBlocks: s.retiredBlocks.Load(),
+		FreedBlocks:   s.freedBlocks.Load(),
+		Resurrected:   s.resurrected.Load(),
+		RecoveredLive: s.recoveredLive.Load(),
+	}
+}
+
+// eadr reports whether the heap has a persistent cache, in which case the
+// epoch system "automatically disables itself" (Sec. 4.3): background
+// flushing is skipped because every store is already durable.
+func (s *System) eadr() bool { return s.heap.Mode() == nvm.ModeEADR }
+
+// Stop halts the background advancer. Used before simulating a crash and
+// when shutting down cleanly.
+func (s *System) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// AdvanceOnce performs one epoch transition e -> e+1:
+//
+//  1. wait for the in-flight epoch e-1 to quiesce,
+//  2. flush every NVM write tracked in epoch e-1 (and the DELETED markers
+//     of blocks retired in e-1),
+//  3. durably advance the persisted-epoch root to e-1,
+//  4. reclaim blocks retired in e-1, and
+//  5. publish the new active epoch e+1.
+//
+// Worker threads are never paused: operations keep starting in e
+// throughout. AdvanceOnce is normally driven by the background advancer
+// but may be called directly (Sync, tests, manual mode).
+func (s *System) AdvanceOnce() {
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+
+	e := s.global.Load()
+	closing := e - 1
+
+	// (2) Wait for in-flight operations in epoch e-1 to complete. New
+	// operations only ever start in the active epoch, so no new work can
+	// appear in e-1.
+	s.waitQuiesce(closing)
+
+	// (3) Persist everything tracked in e-1.
+	n := int(s.nWorkers.Load())
+	slot := int(closing % numSlots)
+	for i := 0; i < n; i++ {
+		w := s.workers[i]
+		buf := &w.bufs[slot]
+		if !s.eadr() {
+			for _, b := range buf.persist {
+				hdr := s.alloc.ReadHeader(b)
+				s.heap.FlushRange(b, palloc.ClassWords(hdr.Class))
+				s.flushedBlocks.Add(1)
+			}
+			for _, b := range buf.retire {
+				// The DELETED marker and delete-epoch word share the
+				// block's header line.
+				s.heap.Flush(b)
+			}
+		}
+		// Retired blocks become reclaimable once the root below is
+		// durable; defer their Free to the next advance.
+		s.pendingFree = append(s.pendingFree, buf.retire...)
+		buf.persist = buf.persist[:0]
+		buf.retire = buf.retire[:0]
+	}
+	if !s.eadr() {
+		s.heap.Fence()
+	}
+
+	// (4) Durably record that e-1 has persisted.
+	s.heap.Store(rootPersistedAddr, closing)
+	s.heap.Persist(rootPersistedAddr)
+	s.persisted.Store(closing)
+
+	// (5) Blocks retired in e-1 are now reclaimable: their DELETED
+	// markers and the root above are durable, so no recovery can
+	// resurrect them.
+	for _, b := range s.pendingFree {
+		s.alloc.Free(b)
+		s.freedBlocks.Add(1)
+	}
+	s.pendingFree = s.pendingFree[:0]
+
+	// (6) Open epoch e+1.
+	s.global.Store(e + 1)
+	s.advances.Add(1)
+}
+
+// waitQuiesce spins until no worker is announced in epoch target.
+func (s *System) waitQuiesce(target uint64) {
+	for {
+		busy := false
+		n := int(s.nWorkers.Load())
+		for i := 0; i < n; i++ {
+			if s.workers[i].ann.Load() == target {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Sync advances epochs until every operation that completed before the
+// call is durable, then returns. It must not be called between BeginOp and
+// EndOp on the calling thread (the advance would wait for that operation).
+func (s *System) Sync() {
+	target := s.global.Load()
+	for s.persisted.Load() < target {
+		s.AdvanceOnce()
+	}
+}
+
+// Register allocates a Worker for the calling thread. Workers are pooled:
+// Release returns one for reuse. Panics when MaxWorkers distinct workers
+// are simultaneously live.
+func (s *System) Register() *Worker {
+	s.freeMu.Lock()
+	if n := len(s.freeIDs); n > 0 {
+		id := s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+		s.freeMu.Unlock()
+		return s.workers[id]
+	}
+	s.freeMu.Unlock()
+	id := int(s.nWorkers.Load())
+	if id >= s.cfg.MaxWorkers {
+		panic(fmt.Sprintf("epoch: more than %d workers", s.cfg.MaxWorkers))
+	}
+	w := &Worker{sys: s, id: id}
+	s.workers[id] = w
+	s.nWorkers.Add(1) // publish after the slot is filled
+	return w
+}
+
+// Release returns a worker to the pool. The caller must have no operation
+// in progress. Buffered (not-yet-persisted) writes remain owned by the
+// epoch system and are flushed on schedule.
+func (s *System) Release(w *Worker) {
+	if w.ann.Load() != 0 {
+		panic("epoch: Release with operation in progress")
+	}
+	s.freeMu.Lock()
+	s.freeIDs = append(s.freeIDs, w.id)
+	s.freeMu.Unlock()
+}

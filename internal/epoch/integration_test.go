@@ -1,0 +1,117 @@
+package epoch_test
+
+import (
+	"testing"
+
+	"bdhtm/internal/bdhash"
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/veb"
+)
+
+// Two different structures share one heap and one epoch system; recovery
+// dispatches blocks back to their owners by allocation tag. This is the
+// multi-index configuration a storage engine would actually run.
+func TestSharedHeapMultiStructureRecovery(t *testing.T) {
+	h := nvm.New(nvm.Config{Words: 1 << 21})
+	sys := epoch.New(h, epoch.Config{Manual: true})
+	tm := htm.Default()
+
+	const hashTag, treeTag = 1, veb.BlockTag
+	table := bdhash.New(sys, tm, 1<<12, hashTag)
+	tree := veb.New(veb.Config{UniverseBits: 14, TM: tm, DataSys: sys})
+	w := sys.Register()
+
+	for k := uint64(0); k < 500; k++ {
+		table.Insert(w, k, k+1)
+		tree.Insert(w, k, k+2)
+	}
+	table.Remove(w, 100)
+	tree.Remove(w, 200)
+	sys.Sync()
+	// Unsynced tail on both structures.
+	table.Insert(w, 9000, 1)
+	tree.Insert(w, 9000, 1)
+
+	sys.SimulateCrash(nvm.CrashOptions{EvictFraction: 0.5, Seed: 77})
+
+	var recs []epoch.BlockRecord
+	sys2 := epoch.Recover(h, epoch.Config{Manual: true}, func(r epoch.BlockRecord) {
+		recs = append(recs, r)
+	})
+	table2 := bdhash.New(sys2, htm.Default(), 1<<12, hashTag)
+	tree2 := veb.New(veb.Config{UniverseBits: 14, TM: htm.Default(), DataSys: sys2})
+	for _, r := range recs {
+		switch r.Tag {
+		case hashTag:
+			table2.RebuildBlock(r)
+		case treeTag:
+			tree2.RebuildBlock(r)
+		default:
+			t.Fatalf("unknown tag %d in recovery", r.Tag)
+		}
+	}
+
+	if table2.Len() != 499 || tree2.Len() != 499 {
+		t.Fatalf("recovered sizes: hash=%d tree=%d, want 499 each", table2.Len(), tree2.Len())
+	}
+	for k := uint64(0); k < 500; k++ {
+		hv, hok := table2.Get(k)
+		tv, tok := tree2.Get(k)
+		if k == 100 {
+			if hok {
+				t.Fatal("hash: removed key survived")
+			}
+		} else if !hok || hv != k+1 {
+			t.Fatalf("hash Get(%d)=%d,%v", k, hv, hok)
+		}
+		if k == 200 {
+			if tok {
+				t.Fatal("tree: removed key survived")
+			}
+		} else if !tok || tv != k+2 {
+			t.Fatalf("tree Get(%d)=%d,%v", k, tv, tok)
+		}
+	}
+	if _, ok := table2.Get(9000); ok {
+		t.Fatal("unsynced hash key survived")
+	}
+	if tree2.Contains(9000) {
+		t.Fatal("unsynced tree key survived")
+	}
+
+	// Both structures keep working against the recovered system, and the
+	// next crash round-trips again.
+	w2 := sys2.Register()
+	table2.Insert(w2, 777, 7)
+	tree2.Insert(w2, 777, 8)
+	sys2.Sync()
+	sys2.SimulateCrash(nvm.CrashOptions{})
+	n := 0
+	sys3 := epoch.Recover(h, epoch.Config{Manual: true}, func(epoch.BlockRecord) { n++ })
+	defer sys3.Stop()
+	if n != 2*499+2 {
+		t.Fatalf("second recovery found %d blocks, want %d", n, 2*499+2)
+	}
+}
+
+// A structure whose epoch worker is shared across two structure types in
+// one operation sequence must still confine each op to one epoch.
+func TestWorkerSharedAcrossStructures(t *testing.T) {
+	h := nvm.New(nvm.Config{Words: 1 << 20})
+	sys := epoch.New(h, epoch.Config{Manual: true})
+	tm := htm.Default()
+	table := bdhash.New(sys, tm, 1<<10, 1)
+	tree := veb.New(veb.Config{UniverseBits: 12, TM: tm, DataSys: sys})
+	w := sys.Register()
+	for i := 0; i < 50; i++ {
+		table.Insert(w, uint64(i), 1)
+		sys.AdvanceOnce()
+		tree.Insert(w, uint64(i), 2)
+	}
+	if table.Len() != 50 || tree.Len() != 50 {
+		t.Fatalf("sizes %d/%d", table.Len(), tree.Len())
+	}
+	sys.Stop()
+}

@@ -1,0 +1,124 @@
+package epoch
+
+import (
+	"fmt"
+
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/palloc"
+)
+
+// BlockRecord describes one live block handed to the rebuild callback
+// during recovery.
+type BlockRecord struct {
+	Block Block
+	// Tag is the 8-bit user tag from allocation; structures sharing a
+	// heap dispatch on it.
+	Tag uint8
+	// Epoch is the (persisted) epoch in which the block was last
+	// modified.
+	Epoch uint64
+	// Resurrected reports that the block had been deleted in an epoch
+	// that did not persist; the deletion has been rolled back.
+	Resurrected bool
+}
+
+// Recover reopens a heap after a crash (heap.Crash) and reconstructs the
+// epoch system's durable state, implementing the recovery procedure of
+// Sec. 5.2:
+//
+//   - the persisted global epoch P is read from the durable root;
+//   - ALLOCATED blocks whose epoch is at most P are recovered;
+//   - DELETED blocks whose deletion epoch did not persist (d > P) but
+//     whose creation did (epoch ≤ P) are resurrected;
+//   - everything else — blocks with invalid epochs (preallocated but
+//     unused), blocks created in unpersisted epochs, and blocks whose
+//     deletion persisted — is reclaimed by the allocator.
+//
+// For every recovered block, rebuild is called so the caller can
+// reconstruct its DRAM index; calls are made from a single goroutine.
+// On an eADR heap every store was durable at the point of visibility, so
+// all ALLOCATED blocks are recovered regardless of epoch.
+//
+// The returned system starts a fresh epoch strictly above every recovered
+// epoch. Recover panics if the heap was never formatted by New.
+func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
+	cfg = cfg.withDefaults()
+	if h.Load(rootMagicAddr) != rootMagic {
+		panic(fmt.Sprintf("epoch: heap not formatted (magic %#x)", h.Load(rootMagicAddr)))
+	}
+	p := h.Load(rootPersistedAddr)
+	eadr := h.Mode() == nvm.ModeEADR
+
+	s := &System{
+		heap:    h,
+		alloc:   palloc.New(h),
+		cfg:     cfg,
+		workers: make([]*Worker, cfg.MaxWorkers),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.global.Store(p + 2)
+	s.persisted.Store(p)
+
+	s.alloc.Recover(func(bi palloc.BlockInfo) bool {
+		hdr := bi.Header
+		if hdr.Epoch == palloc.InvalidEpoch {
+			return false // preallocated, never used
+		}
+		switch hdr.Status {
+		case palloc.Allocated:
+			if !eadr && hdr.Epoch > p {
+				return false // created in an unpersisted epoch
+			}
+			s.recoveredLive.Add(1)
+			if rebuild != nil {
+				rebuild(BlockRecord{
+					Block: Block{sys: s, addr: bi.Addr},
+					Tag:   hdr.Tag,
+					Epoch: hdr.Epoch,
+				})
+			}
+			return true
+		case palloc.Deleted:
+			if eadr || bi.DeleteEpoch <= p {
+				return false // deletion is part of the recovered prefix
+			}
+			if hdr.Epoch > p {
+				return false // never persisted in the first place
+			}
+			// Deleted in an epoch that was lost: roll the deletion back.
+			hdr.Status = palloc.Allocated
+			h.Store(bi.Addr, hdr.Pack())
+			h.Store(bi.Addr+1, 0)
+			h.Flush(bi.Addr)
+			s.resurrected.Add(1)
+			s.recoveredLive.Add(1)
+			if rebuild != nil {
+				rebuild(BlockRecord{
+					Block:       Block{sys: s, addr: bi.Addr},
+					Tag:         hdr.Tag,
+					Epoch:       hdr.Epoch,
+					Resurrected: true,
+				})
+			}
+			return true
+		default:
+			return false
+		}
+	})
+	h.Fence()
+
+	// Re-persist the root under the new numbering and resume.
+	h.Store(rootPersistedAddr, p)
+	h.Persist(rootPersistedAddr)
+	s.startAdvancer()
+	return s
+}
+
+// SimulateCrash stops the epoch system and power-fails the heap. opts
+// controls how many dirty lines the cache happened to write back first.
+// After SimulateCrash, use Recover on the same heap to come back up.
+func (s *System) SimulateCrash(opts nvm.CrashOptions) {
+	s.Stop()
+	s.heap.Crash(opts)
+}

@@ -1,0 +1,334 @@
+package harness
+
+import (
+	"math/bits"
+	"time"
+
+	"bdhtm/internal/abtree"
+	"bdhtm/internal/bdhash"
+	"bdhtm/internal/cceh"
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/lbtree"
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/plush"
+	"bdhtm/internal/skiplist"
+	"bdhtm/internal/spash"
+	"bdhtm/internal/veb"
+)
+
+// Opts scales a subject to an experiment.
+type Opts struct {
+	// KeySpace is the size of the key universe.
+	KeySpace uint64
+	// Latency enables the Optane latency model on NVM heaps (and leaves
+	// DRAM-mode heaps free), reproducing the paper's NVM/DRAM asymmetry.
+	Latency bool
+	// EpochLength for buffered-durable subjects (default 50ms).
+	EpochLength time.Duration
+	// CacheLines bounds the simulated cache (0 = unbounded).
+	CacheLines int
+	// HeapWords overrides the computed NVM heap size.
+	HeapWords int
+	// MemTypeRate injects the Fig. 2 MEMTYPE anomaly into HTM subjects.
+	MemTypeRate float64
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.KeySpace == 0 {
+		o.KeySpace = 1 << 16
+	}
+	if o.EpochLength == 0 {
+		o.EpochLength = 50 * time.Millisecond
+	}
+	return o
+}
+
+func (o Opts) heapWords() int {
+	if o.HeapWords != 0 {
+		return o.HeapWords
+	}
+	w := int(o.KeySpace) * 32
+	if w < 1<<21 {
+		w = 1 << 21
+	}
+	return w
+}
+
+func (o Opts) nvmHeap() *nvm.Heap {
+	cfg := nvm.Config{Words: o.heapWords(), CacheLines: o.CacheLines}
+	if o.Latency {
+		cfg.Latency = nvm.OptaneProfile
+	}
+	return nvm.New(cfg)
+}
+
+func (o Opts) dramHeap() *nvm.Heap {
+	return nvm.New(nvm.Config{Words: o.heapWords(), Mode: nvm.ModeDRAM})
+}
+
+func (o Opts) eadrHeap() *nvm.Heap {
+	cfg := nvm.Config{Words: o.heapWords(), Mode: nvm.ModeEADR, CacheLines: o.CacheLines}
+	if o.Latency {
+		cfg.Latency = nvm.OptaneProfile
+	}
+	return nvm.New(cfg)
+}
+
+func (o Opts) tm() *htm.TM {
+	return htm.New(htm.Config{MemTypeRate: o.MemTypeRate, PreWalkResidualRate: o.MemTypeRate / 10})
+}
+
+func (o Opts) universeBits() uint8 {
+	return uint8(bits.Len64(o.KeySpace - 1))
+}
+
+func tmHook(tm *htm.TM) func() TMStatsSnapshot {
+	return func() TMStatsSnapshot {
+		s := tm.Stats()
+		return TMStatsSnapshot{
+			Commits: s.Commits, Conflict: s.Conflict, Capacity: s.Capacity,
+			Explicit: s.Explicit, Locked: s.Locked, Spurious: s.Spurious,
+			MemType: s.MemType, PersistOp: s.PersistOp,
+		}
+	}
+}
+
+// --- vEB trees (Sec. 4.1) ---------------------------------------------------
+
+type vebMap struct {
+	t *veb.Tree
+	w *epoch.Worker
+}
+
+func (m vebMap) Insert(k, v uint64) bool    { return m.t.Insert(m.w, k, v) }
+func (m vebMap) Remove(k uint64) bool       { return m.t.Remove(m.w, k) }
+func (m vebMap) Get(k uint64) (uint64, bool) { return m.t.Get(k) }
+
+// NewHTMvEB builds the transient HTM-vEB tree.
+func NewHTMvEB(o Opts) *Instance {
+	o = o.withDefaults()
+	tm := o.tm()
+	t := veb.New(veb.Config{UniverseBits: o.universeBits(), TM: tm})
+	return &Instance{
+		Name:      "HTM-vEB",
+		NewHandle: func() Map { return vebMap{t: t} },
+		Close:     func() {},
+		TMStats:   tmHook(tm),
+		DRAMBytes: t.DRAMBytes,
+	}
+}
+
+// NewPHTMvEB builds the buffered-durable PHTM-vEB tree.
+func NewPHTMvEB(o Opts) *Instance {
+	o = o.withDefaults()
+	tm := o.tm()
+	h := o.nvmHeap()
+	sys := epoch.New(h, epoch.Config{EpochLength: o.EpochLength})
+	t := veb.New(veb.Config{UniverseBits: o.universeBits(), TM: tm, DataSys: sys})
+	return &Instance{
+		Name:      "PHTM-vEB",
+		NewHandle: func() Map { return vebMap{t: t, w: sys.Register()} },
+		Close:     sys.Stop,
+		TMStats:   tmHook(tm),
+		DRAMBytes: t.DRAMBytes,
+		NVMBytes:  sys.Allocator().FootprintBytes,
+		Sync:      sys.Sync,
+	}
+}
+
+// --- persistent tree baselines (Fig. 3, Table 3) -----------------------------
+
+type funcMap struct {
+	ins func(k, v uint64) bool
+	rem func(k uint64) bool
+	get func(k uint64) (uint64, bool)
+}
+
+func (m funcMap) Insert(k, v uint64) bool     { return m.ins(k, v) }
+func (m funcMap) Remove(k uint64) bool        { return m.rem(k) }
+func (m funcMap) Get(k uint64) (uint64, bool) { return m.get(k) }
+
+// NewLBTree builds the LB+Tree baseline.
+func NewLBTree(o Opts) *Instance {
+	o = o.withDefaults()
+	t := lbtree.New(o.nvmHeap())
+	return &Instance{
+		Name:      "LB+Tree",
+		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
+		Close:     func() {},
+		DRAMBytes: t.DRAMBytes,
+		NVMBytes:  t.NVMBytes,
+	}
+}
+
+// NewOCCTree builds the OCC-ABTree baseline.
+func NewOCCTree(o Opts) *Instance {
+	o = o.withDefaults()
+	t := abtree.New(o.nvmHeap(), false)
+	return &Instance{
+		Name:      "OCC-Tree",
+		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
+		Close:     func() {},
+		NVMBytes:  t.NVMBytes,
+	}
+}
+
+// NewElimTree builds the Elim-ABTree baseline.
+func NewElimTree(o Opts) *Instance {
+	o = o.withDefaults()
+	t := abtree.New(o.nvmHeap(), true)
+	return &Instance{
+		Name:      "Elim-Tree",
+		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
+		Close:     func() {},
+		NVMBytes:  t.NVMBytes,
+	}
+}
+
+// --- skiplists (Sec. 4.2, Fig. 5) --------------------------------------------
+
+type slMap struct{ h *skiplist.Handle }
+
+func (m slMap) Insert(k, v uint64) bool     { return m.h.Insert(k, v) }
+func (m slMap) Remove(k uint64) bool        { return m.h.Remove(k) }
+func (m slMap) Get(k uint64) (uint64, bool) { return m.h.Get(k) }
+
+// NewSkiplist builds any of the five Fig. 5 skiplist variants.
+func NewSkiplist(v skiplist.Variant, o Opts) *Instance {
+	o = o.withDefaults()
+	cfg := skiplist.Config{Variant: v, Threads: 128}
+	inst := &Instance{Name: v.String(), Close: func() {}}
+	switch v {
+	case skiplist.DL, skiplist.PNoFlush:
+		cfg.IndexHeap = o.nvmHeap()
+	case skiplist.PHTMMwCAS:
+		cfg.IndexHeap = o.nvmHeap()
+		cfg.TM = o.tm()
+		inst.TMStats = tmHook(cfg.TM)
+	case skiplist.Transient:
+		cfg.IndexHeap = o.dramHeap()
+	case skiplist.BDL:
+		cfg.IndexHeap = o.dramHeap()
+		cfg.TM = o.tm()
+		nh := o.nvmHeap()
+		sys := epoch.New(nh, epoch.Config{EpochLength: o.EpochLength})
+		cfg.DataSys = sys
+		inst.Close = sys.Stop
+		inst.Sync = sys.Sync
+		inst.NVMBytes = sys.Allocator().FootprintBytes
+		inst.TMStats = tmHook(cfg.TM)
+	}
+	l := skiplist.New(cfg)
+	inst.NewHandle = func() Map { return slMap{h: l.NewHandle()} }
+	inst.DRAMBytes = func() int64 {
+		if v == skiplist.BDL || v == skiplist.Transient {
+			return l.IndexAllocator().FootprintBytes()
+		}
+		return 0
+	}
+	return inst
+}
+
+// --- hash tables (Sec. 4.3, Fig. 6) ------------------------------------------
+
+type spashMap struct {
+	t *spash.Table
+	w *epoch.Worker
+}
+
+func (m spashMap) Insert(k, v uint64) bool     { return m.t.Insert(m.w, k, v) }
+func (m spashMap) Remove(k uint64) bool        { return m.t.Remove(m.w, k) }
+func (m spashMap) Get(k uint64) (uint64, bool) { return m.t.Get(k) }
+
+// NewSpash builds Spash on a simulated eADR machine.
+func NewSpash(o Opts) *Instance {
+	o = o.withDefaults()
+	tm := o.tm()
+	t := spash.New(spash.Config{Mode: spash.ModeEADR, Heap: o.eadrHeap(), TM: tm})
+	return &Instance{
+		Name:      "Spash",
+		NewHandle: func() Map { return spashMap{t: t} },
+		Close:     func() {},
+		TMStats:   tmHook(tm),
+	}
+}
+
+// NewBDSpash builds BD-Spash on a conventional ADR machine.
+func NewBDSpash(o Opts) *Instance {
+	o = o.withDefaults()
+	tm := o.tm()
+	sys := epoch.New(o.nvmHeap(), epoch.Config{EpochLength: o.EpochLength})
+	t := spash.New(spash.Config{Mode: spash.ModeBD, Sys: sys, TM: tm})
+	return &Instance{
+		Name:      "BD-Spash",
+		NewHandle: func() Map { return spashMap{t: t, w: sys.Register()} },
+		Close:     sys.Stop,
+		TMStats:   tmHook(tm),
+		NVMBytes:  sys.Allocator().FootprintBytes,
+		Sync:      sys.Sync,
+	}
+}
+
+// NewCCEH builds the CCEH baseline.
+func NewCCEH(o Opts) *Instance {
+	o = o.withDefaults()
+	t := cceh.New(o.nvmHeap(), 4)
+	return &Instance{
+		Name:      "CCEH",
+		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
+		Close:     func() {},
+	}
+}
+
+// NewPlush builds the Plush baseline. Inserts and removes use Plush's
+// native blind-write fast path.
+func NewPlush(o Opts) *Instance {
+	o = o.withDefaults()
+	words := o.heapWords()
+	if words < 1<<22 {
+		words = 1 << 22 // level geometry needs room
+	}
+	cfg := nvm.Config{Words: words, CacheLines: o.CacheLines}
+	if o.Latency {
+		cfg.Latency = nvm.OptaneProfile
+	}
+	t := plush.New(nvm.New(cfg))
+	return &Instance{
+		Name: "Plush",
+		NewHandle: func() Map {
+			return funcMap{
+				ins: func(k, v uint64) bool { t.PutBlind(k, v); return false },
+				rem: func(k uint64) bool { t.RemoveBlind(k); return true },
+				get: t.Get,
+			}
+		},
+		Close: func() {},
+	}
+}
+
+// --- tutorial structure ------------------------------------------------------
+
+type bdhashMap struct {
+	t *bdhash.Table
+	w *epoch.Worker
+}
+
+func (m bdhashMap) Insert(k, v uint64) bool     { return m.t.Insert(m.w, k, v) }
+func (m bdhashMap) Remove(k uint64) bool        { return m.t.Remove(m.w, k) }
+func (m bdhashMap) Get(k uint64) (uint64, bool) { return m.t.Get(k) }
+
+// NewBDHash builds the Listing-1 hash table.
+func NewBDHash(o Opts) *Instance {
+	o = o.withDefaults()
+	tm := o.tm()
+	sys := epoch.New(o.nvmHeap(), epoch.Config{EpochLength: o.EpochLength})
+	t := bdhash.New(sys, tm, int(o.KeySpace), 1)
+	return &Instance{
+		Name:      "BD-Hash (Listing 1)",
+		NewHandle: func() Map { return bdhashMap{t: t, w: sys.Register()} },
+		Close:     sys.Stop,
+		TMStats:   tmHook(tm),
+		Sync:      sys.Sync,
+	}
+}

@@ -1,0 +1,561 @@
+// Package htm simulates best-effort hardware transactional memory (Intel
+// TSX-style) in software.
+//
+// Go exposes no HTM intrinsics, so this package provides a TL2-style
+// software transactional memory engineered to reproduce the *programming
+// model and failure modes* of commodity best-effort HTM rather than its raw
+// speed:
+//
+//   - Conflicts are detected at 64-byte cache-line granularity, via a
+//     hashed table of versioned locks, so false sharing aborts transactions
+//     exactly as it does on real hardware.
+//   - Read and write sets have bounded capacity (modeling L1-limited
+//     speculative state); exceeding them aborts with CauseCapacity.
+//   - Transactions may abort spuriously (timer interrupts, faults) and, to
+//     reproduce the anomaly in Fig. 2 of the paper, with CauseMemType at a
+//     configurable rate unless the attempt was preceded by a
+//     non-transactional "pre-walk".
+//   - Explicit aborts carry an 8-bit user code, like _xabort.
+//   - Persist operations (clwb/sfence) are incompatible with transactions:
+//     Tx.Flush and Tx.Fence always abort with CausePersistOp. This is the
+//     central incompatibility the paper resolves with buffered durability.
+//   - A FallbackLock provides the standard global-lock fallback path with
+//     lock subscription: transactions that Subscribe abort when the lock is
+//     taken, and fallback-path writes (DirectStore) are visible to the
+//     conflict-detection mechanism.
+//
+// Transactions address ordinary Go words (*uint64) and simulated NVM words
+// (nvm.Heap + nvm.Addr) uniformly; speculative writes are buffered in the
+// write set and reach memory only on commit, so — as with real HTM — no
+// speculative state can ever leak to the persistent image of an nvm.Heap.
+package htm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"bdhtm/internal/nvm"
+)
+
+// AbortCause classifies why a transaction attempt failed.
+type AbortCause int
+
+const (
+	// CauseNone means the attempt committed.
+	CauseNone AbortCause = iota
+	// CauseConflict: another transaction or a fallback-path writer
+	// touched a line in this transaction's read or write set.
+	CauseConflict
+	// CauseCapacity: the read or write set exceeded the configured
+	// speculative capacity.
+	CauseCapacity
+	// CauseExplicit: the transaction called Abort with a user code.
+	CauseExplicit
+	// CauseLocked: the transaction observed a subscribed fallback lock
+	// held and aborted to wait for it.
+	CauseLocked
+	// CauseSpurious: a transient event (interrupt, fault) killed the
+	// transaction.
+	CauseSpurious
+	// CauseMemType: the "incompatible memory type" anomaly observed at
+	// low thread counts in the paper's Fig. 2.
+	CauseMemType
+	// CausePersistOp: the transaction attempted a flush or fence, which
+	// best-effort HTM cannot execute speculatively.
+	CausePersistOp
+
+	numCauses
+)
+
+func (c AbortCause) String() string {
+	switch c {
+	case CauseNone:
+		return "committed"
+	case CauseConflict:
+		return "conflict"
+	case CauseCapacity:
+		return "capacity"
+	case CauseExplicit:
+		return "explicit"
+	case CauseLocked:
+		return "locked"
+	case CauseSpurious:
+		return "spurious"
+	case CauseMemType:
+		return "memtype"
+	case CausePersistOp:
+		return "persist-op"
+	default:
+		return fmt.Sprintf("AbortCause(%d)", int(c))
+	}
+}
+
+// Result reports the outcome of one transaction attempt.
+type Result struct {
+	Committed bool
+	Cause     AbortCause
+	// Code carries the user abort code when Cause == CauseExplicit.
+	Code uint8
+}
+
+// Config tunes the simulated HTM.
+type Config struct {
+	// TableBits sets the versioned-lock table to 1<<TableBits slots
+	// (default 16). Smaller tables increase false conflicts.
+	TableBits int
+	// MaxWriteLines bounds the write set in cache lines (default 512,
+	// i.e. 32 KiB of speculative stores, an L1-sized budget).
+	MaxWriteLines int
+	// MaxReadLines bounds the read set in cache lines (default 8192,
+	// modeling the L1 + bloom-filter read tracking of real parts).
+	MaxReadLines int
+	// SpuriousRate is the probability that an attempt is killed by a
+	// transient event. Default 0.
+	SpuriousRate float64
+	// MemTypeRate is the probability that an attempt not preceded by a
+	// pre-walk aborts with CauseMemType. Default 0.
+	MemTypeRate float64
+	// PreWalkResidualRate is the MemType rate that remains after a
+	// pre-walk (the paper's mitigation reduced aborts to ~5%).
+	PreWalkResidualRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TableBits == 0 {
+		c.TableBits = 16
+	}
+	if c.MaxWriteLines == 0 {
+		c.MaxWriteLines = 512
+	}
+	if c.MaxReadLines == 0 {
+		c.MaxReadLines = 8192
+	}
+	return c
+}
+
+// TM is a simulated hardware-transactional-memory unit. One TM is shared by
+// all threads operating on the same data; independent structures may use
+// independent TMs.
+type TM struct {
+	cfg   Config
+	mask  uint64
+	clock atomic.Uint64
+	table []atomic.Uint64 // slot: version<<1 | locked; locked slots hold owner<<1|1
+	txIDs atomic.Uint64
+	rng   atomic.Uint64 // cheap splitmix state for abort injection
+
+	stats Stats
+
+	pool sync.Pool
+}
+
+// New creates a TM with the given configuration.
+func New(cfg Config) *TM {
+	cfg = cfg.withDefaults()
+	tm := &TM{
+		cfg:   cfg,
+		mask:  (1 << cfg.TableBits) - 1,
+		table: make([]atomic.Uint64, 1<<cfg.TableBits),
+	}
+	tm.rng.Store(0x853c49e6748fea9b)
+	tm.pool.New = func() any {
+		return &Tx{
+			tm:       tm,
+			reads:    newKVSet(readSetCap),
+			writeIdx: newKVSet(writeSetCap),
+			wlines:   newKVSet(writeSetCap),
+		}
+	}
+	return tm
+}
+
+// Default returns a TM with default configuration and no abort injection.
+func Default() *TM { return New(Config{}) }
+
+// Stats returns a snapshot of commit/abort counters.
+func (tm *TM) Stats() StatsSnapshot { return tm.stats.snapshot() }
+
+func lineKey(p *uint64) uint64 {
+	return uint64(uintptr(unsafe.Pointer(p))) >> 6
+}
+
+func (tm *TM) slotIdx(lk uint64) uint64 {
+	return (lk * 0x9e3779b97f4a7c15) >> (64 - uint(tm.cfg.TableBits))
+}
+
+func (tm *TM) nextRand() uint64 {
+	// splitmix64 over an atomic counter: racy increments are harmless for
+	// injection purposes.
+	z := tm.rng.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (tm *TM) chance(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(tm.nextRand()>>11)/float64(1<<53) < rate
+}
+
+type writeEntry struct {
+	p    *uint64
+	val  uint64
+	heap *nvm.Heap // nil for plain DRAM words
+	addr nvm.Addr
+}
+
+type lockedSlot struct {
+	idx     uint64
+	prevVer uint64 // slot contents before we locked it
+}
+
+// Tx is a transaction attempt in progress. A Tx is only valid inside the
+// body function passed to Attempt and must not escape it.
+type Tx struct {
+	tm       *TM
+	id       uint64
+	rv       uint64
+	reads    kvSet // line key -> observed slot version word
+	writes   []writeEntry
+	writeIdx kvSet // word pointer -> index+1 into writes
+	wlines   kvSet // distinct write lines (capacity accounting)
+	locked   []lockedSlot
+	res      Result
+}
+
+// lookupWrite returns the buffered write for p, or nil.
+func (tx *Tx) lookupWrite(p *uint64) *writeEntry {
+	if idx, ok := tx.writeIdx.get(uint64(uintptr(unsafe.Pointer(p)))); ok {
+		return &tx.writes[idx-1]
+	}
+	return nil
+}
+
+type txAbort struct{ tx *Tx }
+
+func (tx *Tx) abort(cause AbortCause, code uint8) {
+	tx.res = Result{Cause: cause, Code: code}
+	panic(txAbort{tx})
+}
+
+// Abort explicitly aborts the transaction with a user code, like _xabort.
+func (tx *Tx) Abort(code uint8) {
+	tx.abort(CauseExplicit, code)
+}
+
+// Load transactionally reads a DRAM word.
+func (tx *Tx) Load(p *uint64) uint64 {
+	if we := tx.lookupWrite(p); we != nil {
+		return we.val
+	}
+	return tx.loadCommon(p, nil, 0)
+}
+
+// LoadAddr transactionally reads a word of simulated NVM.
+func (tx *Tx) LoadAddr(h *nvm.Heap, a nvm.Addr) uint64 {
+	p := h.WordPtr(a)
+	if we := tx.lookupWrite(p); we != nil {
+		return we.val
+	}
+	return tx.loadCommon(p, h, a)
+}
+
+func (tx *Tx) loadCommon(p *uint64, h *nvm.Heap, a nvm.Addr) uint64 {
+	lk := lineKey(p)
+	idx := tx.tm.slotIdx(lk)
+	slot := &tx.tm.table[idx]
+	for spins := 0; ; spins++ {
+		v1 := slot.Load()
+		if v1&1 == 1 {
+			tx.abort(CauseConflict, 0)
+		}
+		var val uint64
+		if h != nil {
+			val = h.Load(a)
+		} else {
+			val = atomic.LoadUint64(p)
+		}
+		v2 := slot.Load()
+		if v2 != v1 {
+			if spins > 8 {
+				tx.abort(CauseConflict, 0)
+			}
+			continue
+		}
+		if v1>>1 > tx.rv {
+			tx.abort(CauseConflict, 0)
+		}
+		// Record the observed version (stored +1 so version 0 survives
+		// the set's zero-means-empty convention).
+		if prev, inserted, full := tx.reads.put(lk, v1+1); !inserted {
+			if !full && prev != v1+1 {
+				tx.abort(CauseConflict, 0)
+			}
+			if full {
+				tx.abort(CauseCapacity, 0)
+			}
+		} else if tx.reads.len() > tx.tm.cfg.MaxReadLines {
+			tx.abort(CauseCapacity, 0)
+		}
+		return val
+	}
+}
+
+// Store transactionally writes a DRAM word. The write is buffered and
+// becomes visible only if the transaction commits.
+func (tx *Tx) Store(p *uint64, v uint64) {
+	tx.storeCommon(p, writeEntry{val: v})
+}
+
+// StoreAddr transactionally writes a word of simulated NVM. On commit the
+// write goes through the heap so that dirty-line tracking stays correct.
+func (tx *Tx) StoreAddr(h *nvm.Heap, a nvm.Addr, v uint64) {
+	tx.storeCommon(h.WordPtr(a), writeEntry{val: v, heap: h, addr: a})
+}
+
+func (tx *Tx) storeCommon(p *uint64, we writeEntry) {
+	we.p = p
+	if prev := tx.lookupWrite(p); prev != nil {
+		*prev = we
+		return
+	}
+	lk := lineKey(p)
+	if _, inserted, full := tx.wlines.put(lk, 1); full {
+		tx.abort(CauseCapacity, 0)
+	} else if inserted && tx.wlines.len() > tx.tm.cfg.MaxWriteLines {
+		tx.abort(CauseCapacity, 0)
+	}
+	tx.writes = append(tx.writes, we)
+	if !tx.writeIdx.set(uint64(uintptr(unsafe.Pointer(p))), uint64(len(tx.writes))) {
+		tx.abort(CauseCapacity, 0)
+	}
+}
+
+// Flush models attempting clwb inside a transaction: it always aborts,
+// because write-back instructions are unsupported in speculative execution.
+func (tx *Tx) Flush() { tx.abort(CausePersistOp, 0) }
+
+// Fence models attempting sfence inside a transaction: it always aborts.
+func (tx *Tx) Fence() { tx.abort(CausePersistOp, 0) }
+
+// Subscribe reads the fallback lock transactionally and aborts with
+// CauseLocked if it is held. Committing transactions thereby conflict with
+// any fallback-path execution that overlaps them.
+func (tx *Tx) Subscribe(l *FallbackLock) {
+	if tx.Load(&l.word) != 0 {
+		tx.abort(CauseLocked, 0)
+	}
+}
+
+func (tx *Tx) reset(id, rv uint64) {
+	tx.id = id
+	tx.rv = rv
+	tx.reads.reset()
+	tx.writes = tx.writes[:0]
+	tx.writeIdx.reset()
+	tx.wlines.reset()
+	tx.locked = tx.locked[:0]
+	tx.res = Result{}
+}
+
+func (tx *Tx) commit() bool {
+	tm := tx.tm
+	if len(tx.writes) == 0 {
+		return true // read-only: validated incrementally, rv-consistent
+	}
+	// Acquire versioned locks for every write line (try-lock; abort on
+	// contention, as hardware would).
+	lockedWord := tx.id<<1 | 1
+	for i := range tx.writes {
+		lk := lineKey(tx.writes[i].p)
+		idx := tm.slotIdx(lk)
+		slot := &tm.table[idx]
+		already := false
+		for _, ls := range tx.locked {
+			if ls.idx == idx {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		cur := slot.Load()
+		if cur&1 == 1 || !slot.CompareAndSwap(cur, lockedWord) {
+			tx.releaseLocks(0, false)
+			return false
+		}
+		tx.locked = append(tx.locked, lockedSlot{idx: idx, prevVer: cur})
+	}
+	// Validate the read set (versions were recorded +1).
+	valid := true
+	tx.reads.forEach(func(lk, seenPlus1 uint64) bool {
+		seen := seenPlus1 - 1
+		idx := tm.slotIdx(lk)
+		cur := tm.table[idx].Load()
+		if cur == seen {
+			return true
+		}
+		if cur == lockedWord {
+			// We hold this slot; compare against its pre-lock version.
+			for _, ls := range tx.locked {
+				if ls.idx == idx {
+					if ls.prevVer == seen {
+						return true
+					}
+					break
+				}
+			}
+		}
+		valid = false
+		return false
+	})
+	if !valid {
+		tx.releaseLocks(0, false)
+		return false
+	}
+	wv := tm.clock.Add(1)
+	// Write back.
+	for i := range tx.writes {
+		we := &tx.writes[i]
+		if we.heap != nil {
+			we.heap.Store(we.addr, we.val)
+		} else {
+			atomic.StoreUint64(we.p, we.val)
+		}
+	}
+	tx.releaseLocks(wv, true)
+	return true
+}
+
+func (tx *Tx) releaseLocks(wv uint64, committed bool) {
+	for _, ls := range tx.locked {
+		if committed {
+			tx.tm.table[ls.idx].Store(wv << 1)
+		} else {
+			tx.tm.table[ls.idx].Store(ls.prevVer)
+		}
+	}
+	tx.locked = tx.locked[:0]
+}
+
+// AttemptOption modifies a single transaction attempt.
+type AttemptOption func(*attemptOpts)
+
+type attemptOpts struct {
+	preWalked bool
+}
+
+// PreWalked marks the attempt as preceded by a non-transactional pre-walk
+// of the data, the paper's mitigation for MEMTYPE aborts.
+func PreWalked() AttemptOption {
+	return func(o *attemptOpts) { o.preWalked = true }
+}
+
+// Attempt runs body as one transaction attempt and reports the outcome.
+// There is no automatic retry: callers implement their own retry and
+// fallback policy, exactly as with _xbegin/_xend. If body panics with
+// anything other than a transactional abort, the panic propagates after the
+// attempt's speculative state is discarded.
+func (tm *TM) Attempt(body func(tx *Tx), opts ...AttemptOption) Result {
+	var o attemptOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	// Injected aborts: decided up front, charged before any work, like a
+	// transaction killed early by an interrupt.
+	if tm.chance(tm.cfg.SpuriousRate) {
+		tm.stats.record(CauseSpurious)
+		return Result{Cause: CauseSpurious}
+	}
+	mtRate := tm.cfg.MemTypeRate
+	if o.preWalked {
+		mtRate = tm.cfg.PreWalkResidualRate
+	}
+	if tm.chance(mtRate) {
+		tm.stats.record(CauseMemType)
+		return Result{Cause: CauseMemType}
+	}
+
+	tx := tm.pool.Get().(*Tx)
+	defer tm.pool.Put(tx)
+	tx.reset(tm.txIDs.Add(1), tm.clock.Load())
+
+	res, ok := tm.runBody(tx, body)
+	if !ok {
+		tm.stats.record(res.Cause)
+		return res
+	}
+	if tx.commit() {
+		tm.stats.record(CauseNone)
+		return Result{Committed: true}
+	}
+	tm.stats.record(CauseConflict)
+	return Result{Cause: CauseConflict}
+}
+
+// runBody executes the body, converting abort panics into results.
+// ok reports whether the body ran to completion (and may try to commit).
+func (tm *TM) runBody(tx *Tx, body func(tx *Tx)) (res Result, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ab, isAbort := r.(txAbort); isAbort && ab.tx == tx {
+				res, ok = tx.res, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(tx)
+	return Result{}, true
+}
+
+// Run executes body with a simple default policy: retry on transient aborts
+// up to maxRetries, spinning politely while a subscribed lock is held, and
+// finally run fallback under the lock. It covers the common case; code that
+// needs Listing-1-style custom abort handling uses Attempt directly.
+// It returns true if the transactional path committed, false if the
+// fallback path ran.
+func (tm *TM) Run(lock *FallbackLock, maxRetries int, body func(tx *Tx), fallback func()) bool {
+	retries := 0
+	preWalked := false
+	for retries < maxRetries {
+		res := tm.Attempt(func(tx *Tx) {
+			tx.Subscribe(lock)
+			body(tx)
+		}, func() []AttemptOption {
+			if preWalked {
+				return []AttemptOption{PreWalked()}
+			}
+			return nil
+		}()...)
+		if res.Committed {
+			return true
+		}
+		switch res.Cause {
+		case CauseLocked:
+			lock.WaitUnlocked()
+			// Waiting for the lock does not consume a retry budget.
+		case CauseMemType:
+			preWalked = true
+			retries++
+		case CauseCapacity, CauseExplicit:
+			// Deterministic aborts: go straight to the fallback.
+			retries = maxRetries
+		default:
+			retries++
+			if retries&3 == 3 {
+				runtime.Gosched()
+			}
+		}
+	}
+	lock.Acquire()
+	defer lock.Release()
+	fallback()
+	return false
+}

@@ -1,0 +1,145 @@
+package htm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"bdhtm/internal/nvm"
+)
+
+// FallbackLock is the global lock used by best-effort HTM fallback paths.
+//
+// Transactions call Tx.Subscribe(l) as their first action; the lock word
+// then sits in their read set, so an Acquire by a fallback-path thread
+// conflicts with (and aborts) every subscribed transaction. While holding
+// the lock, the fallback path must perform its writes with DirectStore /
+// DirectStoreAddr so that concurrent transactions' validation observes
+// them, mirroring the way real HTM detects the fallback's coherence
+// traffic.
+type FallbackLock struct {
+	tm   *TM
+	word uint64
+	_    [7]uint64 // keep the lock word on its own cache line
+}
+
+// NewFallbackLock creates a fallback lock bound to tm.
+func NewFallbackLock(tm *TM) *FallbackLock {
+	return &FallbackLock{tm: tm}
+}
+
+// Acquire spins until it holds the lock. Acquisition is published through
+// the version table so subscribed transactions abort, and then waits for
+// in-flight commits to drain: a transaction that validated its read set
+// before the lock was published may still be writing back, and — unlike
+// real HTM, whose commits are instantaneous — this simulation must let it
+// finish before the fallback path reads or writes shared data.
+func (l *FallbackLock) Acquire() {
+	for {
+		if atomic.LoadUint64(&l.word) == 0 &&
+			atomic.CompareAndSwapUint64(&l.word, 0, 1) {
+			// Publish: bump the version of the lock word's line so that
+			// subscribed transactions fail validation.
+			l.tm.bumpVersion(&l.word)
+			l.tm.drainCommits()
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryAcquire attempts to take the lock without spinning.
+func (l *FallbackLock) TryAcquire() bool {
+	if atomic.CompareAndSwapUint64(&l.word, 0, 1) {
+		l.tm.bumpVersion(&l.word)
+		l.tm.drainCommits()
+		return true
+	}
+	return false
+}
+
+// drainCommits waits until no transaction holds a versioned lock, i.e.
+// every commit that validated before the fallback lock was published has
+// finished its write-back. Transactions that validate afterwards abort on
+// the subscribed lock word, so once the table is clean the fallback holder
+// has exclusive access.
+func (tm *TM) drainCommits() {
+	for i := range tm.table {
+		for tm.table[i].Load()&1 == 1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Release drops the lock.
+func (l *FallbackLock) Release() {
+	atomic.StoreUint64(&l.word, 0)
+	l.tm.bumpVersion(&l.word)
+}
+
+// Locked reports whether the lock is currently held.
+func (l *FallbackLock) Locked() bool { return atomic.LoadUint64(&l.word) != 0 }
+
+// WaitUnlocked spins (politely) until the lock is free.
+func (l *FallbackLock) WaitUnlocked() {
+	for atomic.LoadUint64(&l.word) != 0 {
+		runtime.Gosched()
+	}
+}
+
+// bumpVersion advances the versioned-lock slot covering p, making any
+// transactional read of p's line fail validation. The slot is briefly
+// locked with a fresh transaction id so concurrent commits see it busy.
+func (tm *TM) bumpVersion(p *uint64) {
+	idx := tm.slotIdx(lineKey(p))
+	slot := &tm.table[idx]
+	owner := tm.txIDs.Add(1)<<1 | 1
+	for {
+		cur := slot.Load()
+		if cur&1 == 0 && slot.CompareAndSwap(cur, owner) {
+			break
+		}
+		runtime.Gosched()
+	}
+	slot.Store(tm.clock.Add(1) << 1)
+}
+
+// DirectStore performs a non-transactional store to a DRAM word that is
+// visible to the conflict-detection mechanism. It must only be used while
+// holding the fallback lock (or during single-threaded recovery).
+func (tm *TM) DirectStore(p *uint64, v uint64) {
+	idx := tm.slotIdx(lineKey(p))
+	slot := &tm.table[idx]
+	owner := tm.txIDs.Add(1)<<1 | 1
+	for {
+		cur := slot.Load()
+		if cur&1 == 0 && slot.CompareAndSwap(cur, owner) {
+			break
+		}
+		runtime.Gosched()
+	}
+	atomic.StoreUint64(p, v)
+	slot.Store(tm.clock.Add(1) << 1)
+}
+
+// DirectStoreAddr is DirectStore for simulated NVM words; the store goes
+// through the heap so dirty-line tracking stays correct.
+func (tm *TM) DirectStoreAddr(h *nvm.Heap, a nvm.Addr, v uint64) {
+	p := h.WordPtr(a)
+	idx := tm.slotIdx(lineKey(p))
+	slot := &tm.table[idx]
+	owner := tm.txIDs.Add(1)<<1 | 1
+	for {
+		cur := slot.Load()
+		if cur&1 == 0 && slot.CompareAndSwap(cur, owner) {
+			break
+		}
+		runtime.Gosched()
+	}
+	h.Store(a, v)
+	slot.Store(tm.clock.Add(1) << 1)
+}
+
+// DirectLoad performs a non-transactional load. Plain atomic semantics are
+// sufficient: fallback-path readers hold the lock, and transactional
+// writers' stores only become visible at commit.
+func (tm *TM) DirectLoad(p *uint64) uint64 { return atomic.LoadUint64(p) }

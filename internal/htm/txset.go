@@ -1,0 +1,94 @@
+package htm
+
+// Preallocated open-addressing sets for transaction read/write tracking.
+// Transactions are the hottest path in the whole simulator; map-based
+// bookkeeping dominated runtime, so these tables trade memory (reused via
+// the Tx pool) for allocation-free O(1) operations.
+
+const (
+	readSetCap  = 1 << 14 // line-key -> observed version
+	writeSetCap = 1 << 13 // word pointer -> write entry index
+)
+
+// kvSet maps uint64 keys (never 0) to uint64 values.
+type kvSet struct {
+	keys []uint64
+	vals []uint64
+	used []uint32 // occupied slots, for O(n) reset
+}
+
+func newKVSet(capacity int) kvSet {
+	return kvSet{
+		keys: make([]uint64, capacity),
+		vals: make([]uint64, capacity),
+		used: make([]uint32, 0, capacity/2),
+	}
+}
+
+func (s *kvSet) len() int { return len(s.used) }
+
+func (s *kvSet) reset() {
+	for _, i := range s.used {
+		s.keys[i] = 0
+	}
+	s.used = s.used[:0]
+}
+
+func (s *kvSet) slot(k uint64) uint32 {
+	mask := uint64(len(s.keys) - 1)
+	i := (k * 0x9e3779b97f4a7c15) >> 1 & mask
+	for {
+		if s.keys[i] == 0 || s.keys[i] == k {
+			return uint32(i)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns the value for k and whether it is present.
+func (s *kvSet) get(k uint64) (uint64, bool) {
+	i := s.slot(k)
+	if s.keys[i] == 0 {
+		return 0, false
+	}
+	return s.vals[i], true
+}
+
+// put inserts k=v if absent, reporting (existing value, false) when k was
+// already present. full reports that the table is at capacity.
+func (s *kvSet) put(k, v uint64) (prev uint64, inserted, full bool) {
+	if len(s.used)*4 >= len(s.keys)*3 {
+		return 0, false, true
+	}
+	i := s.slot(k)
+	if s.keys[i] != 0 {
+		return s.vals[i], false, false
+	}
+	s.keys[i] = k
+	s.vals[i] = v
+	s.used = append(s.used, i)
+	return 0, true, false
+}
+
+// set unconditionally assigns k=v.
+func (s *kvSet) set(k, v uint64) bool {
+	if len(s.used)*4 >= len(s.keys)*3 {
+		return false
+	}
+	i := s.slot(k)
+	if s.keys[i] == 0 {
+		s.keys[i] = k
+		s.used = append(s.used, i)
+	}
+	s.vals[i] = v
+	return true
+}
+
+// forEach visits every (k, v) pair.
+func (s *kvSet) forEach(fn func(k, v uint64) bool) {
+	for _, i := range s.used {
+		if !fn(s.keys[i], s.vals[i]) {
+			return
+		}
+	}
+}

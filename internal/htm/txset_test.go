@@ -1,0 +1,104 @@
+package htm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKVSetBasics(t *testing.T) {
+	s := newKVSet(64)
+	if _, ok := s.get(5); ok {
+		t.Fatal("empty set found key")
+	}
+	if prev, inserted, full := s.put(5, 50); !inserted || full || prev != 0 {
+		t.Fatalf("first put: prev=%d inserted=%v full=%v", prev, inserted, full)
+	}
+	if prev, inserted, _ := s.put(5, 60); inserted || prev != 50 {
+		t.Fatalf("second put: prev=%d inserted=%v", prev, inserted)
+	}
+	if v, ok := s.get(5); !ok || v != 50 {
+		t.Fatalf("get = %d,%v (put must not overwrite)", v, ok)
+	}
+	if !s.set(5, 70) {
+		t.Fatal("set failed")
+	}
+	if v, _ := s.get(5); v != 70 {
+		t.Fatalf("get after set = %d", v)
+	}
+	if s.len() != 1 {
+		t.Fatalf("len = %d", s.len())
+	}
+	s.reset()
+	if s.len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if _, ok := s.get(5); ok {
+		t.Fatal("key survived reset")
+	}
+}
+
+func TestKVSetFillsToThreeQuarters(t *testing.T) {
+	s := newKVSet(64)
+	inserted := 0
+	for k := uint64(1); ; k++ {
+		_, ok, full := s.put(k, k)
+		if full {
+			break
+		}
+		if !ok {
+			t.Fatalf("duplicate rejected for fresh key %d", k)
+		}
+		inserted++
+	}
+	if inserted < 64*3/4-1 || inserted > 64 {
+		t.Fatalf("capacity cliff at %d entries", inserted)
+	}
+}
+
+func TestKVSetQuickModel(t *testing.T) {
+	f := func(keys []uint64) bool {
+		s := newKVSet(1 << 12)
+		model := map[uint64]uint64{}
+		for i, k := range keys {
+			if k == 0 {
+				continue // 0 is the reserved empty marker
+			}
+			v := uint64(i) + 1
+			if !s.set(k, v) {
+				return true // hit capacity; fine
+			}
+			model[k] = v
+		}
+		for k, v := range model {
+			got, ok := s.get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		n := 0
+		s.forEach(func(k, v uint64) bool {
+			if model[k] != v {
+				return false
+			}
+			n++
+			return true
+		})
+		return n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVSetReuseAfterManyResets(t *testing.T) {
+	s := newKVSet(256)
+	for round := uint64(0); round < 100; round++ {
+		for k := uint64(1); k <= 50; k++ {
+			s.set(k*31+round, k)
+		}
+		if s.len() != 50 {
+			t.Fatalf("round %d: len = %d", round, s.len())
+		}
+		s.reset()
+	}
+}

@@ -1,0 +1,192 @@
+package lbtree
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"bdhtm/internal/nvm"
+)
+
+func newTree(t *testing.T) (*nvm.Heap, *Tree) {
+	t.Helper()
+	h := nvm.New(nvm.Config{Words: 1 << 21})
+	return h, New(h)
+}
+
+func TestBasics(t *testing.T) {
+	_, tr := newTree(t)
+	if tr.Insert(5, 50) {
+		t.Fatal("fresh insert reported replacement")
+	}
+	if v, ok := tr.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5)=%d,%v", v, ok)
+	}
+	if !tr.Insert(5, 51) {
+		t.Fatal("update not reported")
+	}
+	if !tr.Remove(5) || tr.Remove(5) {
+		t.Fatal("remove semantics")
+	}
+	tr.Insert(0, 9)
+	if v, ok := tr.Get(0); !ok || v != 9 {
+		t.Fatalf("Get(0)=%d,%v", v, ok)
+	}
+}
+
+func TestSplitsPreserveData(t *testing.T) {
+	_, tr := newTree(t)
+	const n = 3000
+	for k := uint64(0); k < n; k++ {
+		tr.Insert(k*7%n, k)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for k := uint64(0); k < n; k++ {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("key %d lost after splits", k)
+		}
+	}
+}
+
+func TestModel(t *testing.T) {
+	_, tr := newTree(t)
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 6000; i++ {
+		k := rng.Uint64N(1024)
+		switch rng.Uint64N(5) {
+		case 0:
+			got := tr.Remove(k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("step %d Remove(%d)=%v want %v", i, k, got, want)
+			}
+			delete(model, k)
+		case 1:
+			gv, gok := tr.Get(k)
+			wv, wok := model[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("step %d Get(%d)=%d,%v want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		default:
+			v := rng.Uint64()
+			got := tr.Insert(k, v)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("step %d Insert(%d)=%v want %v", i, k, got, want)
+			}
+			model[k] = v
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", tr.Len(), len(model))
+	}
+}
+
+func TestInsertPersistCount(t *testing.T) {
+	h, tr := newTree(t)
+	before := h.Stats()
+	tr.Insert(10, 100)
+	d := h.Stats().Sub(before)
+	// Logless insert: entry flush + bitmap flush (commit point).
+	if d.Flushes < 2 {
+		t.Fatalf("insert flushed %d times, want >= 2", d.Flushes)
+	}
+	if d.Flushes > 4 {
+		t.Fatalf("insert flushed %d times; LB+Tree is supposed to be flush-frugal", d.Flushes)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	h := nvm.New(nvm.Config{Words: 1 << 22})
+	tr := New(h)
+	const goroutines = 6
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			base := uint64(id * perG)
+			for i := uint64(0); i < perG; i++ {
+				tr.Insert(base+i, base+i+3)
+			}
+			for i := uint64(0); i < perG; i += 2 {
+				tr.Remove(base + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != goroutines*perG/2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g * perG)
+		for i := uint64(1); i < perG; i += 2 {
+			if v, ok := tr.Get(base + i); !ok || v != base+i+3 {
+				t.Fatalf("Get(%d)=%d,%v", base+i, v, ok)
+			}
+		}
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	h, tr := newTree(t)
+	for k := uint64(0); k < 2000; k++ {
+		tr.Insert(k, k+1)
+	}
+	tr.Remove(100)
+	h.Crash(nvm.CrashOptions{})
+	tr2 := Recover(h)
+	if tr2.Len() != 1999 {
+		t.Fatalf("recovered Len = %d", tr2.Len())
+	}
+	for k := uint64(0); k < 2000; k++ {
+		v, ok := tr2.Get(k)
+		if k == 100 {
+			if ok {
+				t.Fatal("removed key survived")
+			}
+			continue
+		}
+		if !ok || v != k+1 {
+			t.Fatalf("recovered Get(%d)=%d,%v", k, v, ok)
+		}
+	}
+	// Recovered tree is writable and splittable.
+	for k := uint64(10000); k < 11000; k++ {
+		tr2.Insert(k, k)
+	}
+	if v, _ := tr2.Get(10500); v != 10500 {
+		t.Fatal("recovered tree broken")
+	}
+}
+
+func TestRecoveryResolvesSplitDuplicates(t *testing.T) {
+	// Simulate a crash in the duplicate window of a split: entries
+	// present in both the old leaf (bitmap not yet cleared) and the new
+	// linked leaf. Recovery must keep exactly one copy.
+	h, tr := newTree(t)
+	for k := uint64(0); k < LeafEntries; k++ {
+		tr.Insert(k, k)
+	}
+	// Trigger a split by one more insert, then rewind the old leaf's
+	// bitmap to its pre-clear (full) state — as if the crash hit between
+	// the next-pointer commit and the bitmap clear.
+	tr.Insert(LeafEntries, LeafEntries)
+	first := nvm.Addr(h.Load(rootFirstLeaf))
+	h.Store(first+leafBitmapOff, (1<<LeafEntries)-1)
+	h.Persist(first + leafBitmapOff)
+	h.Crash(nvm.CrashOptions{})
+	tr2 := Recover(h)
+	if tr2.Len() != LeafEntries+1 {
+		t.Fatalf("recovered Len = %d, want %d", tr2.Len(), LeafEntries+1)
+	}
+	for k := uint64(0); k <= LeafEntries; k++ {
+		if v, ok := tr2.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d)=%d,%v", k, v, ok)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package nvm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The latency model charges calibrated busy-wait delays rather than calling
+// time.Sleep: the delays of interest (tens to hundreds of nanoseconds) are
+// far below the scheduler's resolution, and a real cache miss also occupies
+// the core.
+
+var (
+	calibrateOnce sync.Once
+	loopsPerNS    float64
+	spinSink      atomic.Uint64
+)
+
+func calibrateSpin() {
+	calibrateOnce.Do(func() {
+		const probe = 1 << 21
+		start := time.Now()
+		spinLoops(probe)
+		elapsed := time.Since(start).Nanoseconds()
+		if elapsed <= 0 {
+			elapsed = 1
+		}
+		loopsPerNS = float64(probe) / float64(elapsed)
+		if loopsPerNS <= 0 {
+			loopsPerNS = 1
+		}
+	})
+}
+
+// spinLoops runs n iterations of work the compiler cannot eliminate.
+func spinLoops(n int) {
+	var acc uint64 = 0x2545f4914f6cdd1d
+	for i := 0; i < n; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	spinSink.Store(acc)
+}
+
+// spin busy-waits for approximately ns nanoseconds.
+func spin(ns int) {
+	if ns <= 0 {
+		return
+	}
+	calibrateSpin()
+	spinLoops(int(float64(ns) * loopsPerNS))
+}

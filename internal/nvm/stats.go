@@ -1,0 +1,72 @@
+package nvm
+
+import "sync/atomic"
+
+// Stats holds the heap's internal event counters.
+type Stats struct {
+	loads          atomic.Int64
+	stores         atomic.Int64
+	misses         atomic.Int64
+	flushes        atomic.Int64
+	fences         atomic.Int64
+	evictions      atomic.Int64
+	lineWritebacks atomic.Int64
+	mediaWrites    atomic.Int64
+	mediaBytes     atomic.Int64
+	usefulBytes    atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the heap counters.
+type StatsSnapshot struct {
+	Loads          int64 // word loads through the volatile view
+	Stores         int64 // word stores (incl. CAS and Add)
+	Misses         int64 // simulated cache misses
+	Flushes        int64 // explicit line flushes (clwb)
+	Fences         int64 // store fences (sfence)
+	Evictions      int64 // capacity evictions of resident lines
+	LineWritebacks int64 // 64-byte lines copied to the persistent image
+	MediaWrites    int64 // 256-byte XPLine writes at the media
+	MediaBytes     int64 // bytes written at the media (XPLine granularity)
+	UsefulBytes    int64 // bytes of actual payload written back
+}
+
+// WriteAmplification is the ratio of media bytes written to useful payload
+// bytes written back. 1.0 is ideal; Optane-style media makes small random
+// write-back expensive (Sec. 5.1 of the paper).
+func (s StatsSnapshot) WriteAmplification() float64 {
+	if s.UsefulBytes == 0 {
+		return 0
+	}
+	return float64(s.MediaBytes) / float64(s.UsefulBytes)
+}
+
+// Sub returns the difference s - prev, for measuring an interval.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Loads:          s.Loads - prev.Loads,
+		Stores:         s.Stores - prev.Stores,
+		Misses:         s.Misses - prev.Misses,
+		Flushes:        s.Flushes - prev.Flushes,
+		Fences:         s.Fences - prev.Fences,
+		Evictions:      s.Evictions - prev.Evictions,
+		LineWritebacks: s.LineWritebacks - prev.LineWritebacks,
+		MediaWrites:    s.MediaWrites - prev.MediaWrites,
+		MediaBytes:     s.MediaBytes - prev.MediaBytes,
+		UsefulBytes:    s.UsefulBytes - prev.UsefulBytes,
+	}
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Loads:          s.loads.Load(),
+		Stores:         s.stores.Load(),
+		Misses:         s.misses.Load(),
+		Flushes:        s.flushes.Load(),
+		Fences:         s.fences.Load(),
+		Evictions:      s.evictions.Load(),
+		LineWritebacks: s.lineWritebacks.Load(),
+		MediaWrites:    s.mediaWrites.Load(),
+		MediaBytes:     s.mediaBytes.Load(),
+		UsefulBytes:    s.usefulBytes.Load(),
+	}
+}

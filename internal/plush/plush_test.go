@@ -1,0 +1,185 @@
+package plush
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"bdhtm/internal/nvm"
+)
+
+const testHeapWords = 1 << 21
+
+func newTab(t *testing.T) (*nvm.Heap, *Table) {
+	t.Helper()
+	h := nvm.New(nvm.Config{Words: testHeapWords})
+	return h, New(h)
+}
+
+func TestBasics(t *testing.T) {
+	_, tab := newTab(t)
+	if tab.Insert(5, 50) {
+		t.Fatal("fresh insert reported replacement")
+	}
+	if v, ok := tab.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if !tab.Insert(5, 51) {
+		t.Fatal("update not reported")
+	}
+	if v, _ := tab.Get(5); v != 51 {
+		t.Fatalf("Get = %d", v)
+	}
+	if !tab.Remove(5) || tab.Remove(5) {
+		t.Fatal("remove semantics")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	tab.Insert(0, 9)
+	if v, ok := tab.Get(0); !ok || v != 9 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+}
+
+func TestMigrationCascade(t *testing.T) {
+	_, tab := newTab(t)
+	// Enough keys to overflow level-0 buckets repeatedly.
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		tab.PutBlind(k, k*2)
+	}
+	for k := uint64(0); k < n; k += 97 {
+		if v, ok := tab.Get(k); !ok || v != k*2 {
+			t.Fatalf("Get(%d) = %d,%v after migrations", k, v, ok)
+		}
+	}
+}
+
+func TestNewestWriteWinsAcrossLevels(t *testing.T) {
+	_, tab := newTab(t)
+	// Write a key, push it deep with unrelated traffic, then rewrite it.
+	tab.PutBlind(42, 1)
+	for k := uint64(1000); k < 6000; k++ {
+		tab.PutBlind(k, k)
+	}
+	tab.PutBlind(42, 2)
+	if v, ok := tab.Get(42); !ok || v != 2 {
+		t.Fatalf("Get(42) = %d,%v, want newest value 2", v, ok)
+	}
+}
+
+func TestTombstonesAcrossLevels(t *testing.T) {
+	_, tab := newTab(t)
+	tab.Insert(42, 1)
+	for k := uint64(1000); k < 6000; k++ {
+		tab.PutBlind(k, k)
+	}
+	tab.Remove(42)
+	if _, ok := tab.Get(42); ok {
+		t.Fatal("tombstone did not shadow deep entry")
+	}
+}
+
+func TestLoggingOnCriticalPath(t *testing.T) {
+	h, tab := newTab(t)
+	before := h.Stats()
+	tab.PutBlind(7, 70)
+	d := h.Stats().Sub(before)
+	if d.Flushes < 2 || d.Fences < 1 {
+		t.Fatalf("blind put issued %d flushes / %d fences; the WAL must persist before returning", d.Flushes, d.Fences)
+	}
+}
+
+func TestModel(t *testing.T) {
+	_, tab := newTab(t)
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 6000; i++ {
+		k := rng.Uint64N(512)
+		switch rng.Uint64N(5) {
+		case 0:
+			got := tab.Remove(k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("step %d Remove(%d)=%v want %v", i, k, got, want)
+			}
+			delete(model, k)
+		case 1:
+			gv, gok := tab.Get(k)
+			wv, wok := model[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("step %d Get(%d)=%d,%v want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		default:
+			v := rng.Uint64() >> 2
+			got := tab.Insert(k, v)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("step %d Insert(%d)=%v want %v", i, k, got, want)
+			}
+			model[k] = v
+		}
+	}
+	if tab.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", tab.Len(), len(model))
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	h := nvm.New(nvm.Config{Words: testHeapWords})
+	tab := New(h)
+	const goroutines = 6
+	const perG = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			base := uint64(id * perG)
+			for i := uint64(0); i < perG; i++ {
+				tab.PutBlind(base+i, base+i+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g * perG)
+		for i := uint64(0); i < perG; i++ {
+			if v, ok := tab.Get(base + i); !ok || v != base+i+1 {
+				t.Fatalf("Get(%d)=%d,%v", base+i, v, ok)
+			}
+		}
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	h, tab := newTab(t)
+	for k := uint64(0); k < 3000; k++ {
+		tab.Insert(k, k+100)
+	}
+	tab.Remove(5)
+	tab.Insert(6, 999) // overwrite
+	// Plush is strictly durable: no sync step.
+	h.Crash(nvm.CrashOptions{})
+	tab2 := Recover(h)
+	if _, ok := tab2.Get(5); ok {
+		t.Fatal("removed key survived")
+	}
+	if v, ok := tab2.Get(6); !ok || v != 999 {
+		t.Fatalf("Get(6)=%d,%v", v, ok)
+	}
+	for k := uint64(10); k < 3000; k += 131 {
+		if v, ok := tab2.Get(k); !ok || v != k+100 {
+			t.Fatalf("recovered Get(%d)=%d,%v", k, v, ok)
+		}
+	}
+	if tab2.Len() != 2999 {
+		t.Fatalf("recovered Len = %d, want 2999", tab2.Len())
+	}
+	// Recovered table stays usable.
+	tab2.Insert(5, 55)
+	if v, _ := tab2.Get(5); v != 55 {
+		t.Fatal("recovered table broken")
+	}
+}

@@ -1,0 +1,193 @@
+package skiplist
+
+import (
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/mwcas"
+	"bdhtm/internal/nvm"
+)
+
+// BDL operations follow the Listing-1 discipline: each operation runs in
+// one epoch, KV blocks are preallocated outside the transaction, stamped
+// with the operation's epoch inside it, and persisted / retired after it
+// commits. Towers live in the DRAM index heap and are rebuilt on recovery.
+
+// insertBDL adds or updates k with buffered durability.
+func (h *Handle) insertBDL(k, v uint64) bool {
+	l := h.l
+retryRegist:
+	opEpoch := h.w.BeginOp()
+	if h.prealloc.IsNil() {
+		h.prealloc = h.w.NewKV(NodeTag)
+	}
+	newBlk := h.prealloc
+	newBlk.InitKV(k, v)
+
+	for {
+		preds, succs, found := l.find(k)
+
+		if found != 0 {
+			// Update path: epoch-check the existing block inside the
+			// transaction (Listing 1 lines 20-29).
+			var retire, persist epoch.Block
+			var usedPrealloc bool
+			res := l.htmApply(nil,
+				func(tx *htm.Tx) {
+					if tx.LoadAddr(l.h, l.nextAddr(found, 0))&delMark != 0 {
+						tx.Abort(retryCode) // node was removed; re-find
+					}
+					newBlk.SetEpochTx(tx, opEpoch)
+					blk := l.cfg.DataSys.BlockAt(nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found))))
+					be := blk.EpochTx(tx)
+					switch {
+					case be > opEpoch:
+						tx.Abort(epoch.OldSeeNewCode)
+					case be < opEpoch:
+						tx.StoreAddr(l.h, l.valueAddr(found), uint64(newBlk.Addr()))
+						retire, persist, usedPrealloc = blk, newBlk, true
+					default:
+						blk.SetValueTx(tx, v)
+					}
+				},
+				func() applyResult {
+					if l.h.Load(l.nextAddr(found, 0))&delMark != 0 {
+						return applyRetry
+					}
+					blk := l.cfg.DataSys.BlockAt(nvm.Addr(l.h.Load(l.valueAddr(found))))
+					be := blk.Epoch()
+					switch {
+					case be > opEpoch:
+						return applyOldSeeNew
+					case be < opEpoch:
+						l.setBlockEpochDirect(newBlk, opEpoch)
+						l.cfg.TM.DirectStoreAddr(l.h, l.valueAddr(found), uint64(newBlk.Addr()))
+						retire, persist, usedPrealloc = blk, newBlk, true
+					default:
+						l.cfg.TM.DirectStoreAddr(l.cfg.DataSys.Heap(), blk.Payload(1), v)
+					}
+					return applyOK
+				},
+			)
+			switch res {
+			case applyOldSeeNew:
+				h.w.AbortOp()
+				goto retryRegist
+			case applyRetry:
+				continue
+			}
+			h.finishOp(newBlk, usedPrealloc, retire, persist)
+			return true
+		}
+
+		// Insert path: link a fresh tower whose value word references the
+		// preallocated NVM block.
+		lvl := h.randLevel()
+		node := l.allocNode(k, uint64(newBlk.Addr()), lvl, succs[:lvl])
+		entries := make([]mwcas.Entry, lvl)
+		for i := 0; i < lvl; i++ {
+			entries[i] = mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: succs[i], New: uint64(node)}
+		}
+		res := l.htmApply(entries,
+			func(tx *htm.Tx) { newBlk.SetEpochTx(tx, opEpoch) },
+			func() applyResult { l.setBlockEpochDirect(newBlk, opEpoch); return applyOK },
+		)
+		if res == applyOK {
+			l.count.Add(1)
+			h.finishOp(newBlk, true, epoch.Block{}, newBlk)
+			return false
+		}
+		l.al.Free(node) // never became visible
+	}
+}
+
+// removeBDL deletes k with buffered durability.
+func (h *Handle) removeBDL(k uint64) bool {
+	l := h.l
+retryRegist:
+	opEpoch := h.w.BeginOp()
+	for {
+		preds, _, found := l.find(k)
+		if found == 0 {
+			h.w.EndOp()
+			return false
+		}
+		lvl := l.level(found)
+		entries := make([]mwcas.Entry, 0, 2*lvl)
+		raceLost := false
+		for i := 0; i < lvl; i++ {
+			nxt := l.read(l.nextAddr(found, i))
+			if nxt&delMark != 0 {
+				raceLost = true
+				break
+			}
+			entries = append(entries,
+				mwcas.Entry{Addr: l.nextAddr(found, i), Old: nxt, New: nxt | delMark},
+				mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: uint64(found), New: nxt})
+		}
+		if raceLost {
+			if _, _, f := l.find(k); f == 0 {
+				h.w.EndOp()
+				return false
+			}
+			continue
+		}
+		var retire epoch.Block
+		res := l.htmApply(entries,
+			func(tx *htm.Tx) {
+				blk := l.cfg.DataSys.BlockAt(nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found))))
+				if blk.EpochTx(tx) > opEpoch {
+					tx.Abort(epoch.OldSeeNewCode)
+				}
+				retire = blk
+			},
+			func() applyResult {
+				blk := l.cfg.DataSys.BlockAt(nvm.Addr(l.h.Load(l.valueAddr(found))))
+				if blk.Epoch() > opEpoch {
+					return applyOldSeeNew
+				}
+				retire = blk
+				return applyOK
+			},
+		)
+		switch res {
+		case applyOldSeeNew:
+			h.w.AbortOp()
+			goto retryRegist
+		case applyRetry:
+			continue
+		}
+		h.w.PRetire(retire)
+		l.reap.retire(h.tid, found)
+		l.count.Add(-1)
+		h.w.EndOp()
+		return true
+	}
+}
+
+// finishOp applies the post-commit half of the Listing-1 pattern.
+func (h *Handle) finishOp(newBlk epoch.Block, usedPrealloc bool, retire, persist epoch.Block) {
+	if !usedPrealloc {
+		// The committed transaction stamped the prealloc's epoch but did
+		// not link it; re-invalidate so a crash cannot resurrect it as a
+		// phantom (the Sec. 5 pitfall).
+		newBlk.ResetEpoch()
+	} else {
+		h.prealloc = epoch.Block{}
+	}
+	if !retire.IsNil() {
+		h.w.PRetire(retire)
+	}
+	if !persist.IsNil() {
+		h.w.PTrack(persist)
+	}
+	h.w.EndOp()
+}
+
+// setBlockEpochDirect stamps a not-yet-visible block's epoch from the
+// fallback path.
+func (l *List) setBlockEpochDirect(b epoch.Block, e uint64) {
+	dh := l.cfg.DataSys.Heap()
+	hdr := dh.Load(b.Addr())
+	hdr = hdr&^((uint64(1)<<48)-1) | e
+	l.cfg.TM.DirectStoreAddr(dh, b.Addr(), hdr)
+}

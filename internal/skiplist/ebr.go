@@ -1,0 +1,97 @@
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/palloc"
+)
+
+// ebr is a small epoch-based reclamation scheme for skiplist nodes.
+// Unlinked nodes cannot be returned to the allocator immediately: a
+// concurrent traversal that read a pointer to the node before it was
+// unlinked may still dereference it. Each handle announces an era while
+// it operates; a retired node is freed only once every active handle has
+// been observed in a later era (or idle).
+type ebr struct {
+	alloc *palloc.Allocator
+	era   atomic.Uint64
+	slots []ebrSlot
+}
+
+type ebrSlot struct {
+	ann     atomic.Uint64 // 0 = idle, else era+1
+	retired []retiredNode
+	pending int
+	_       [4]uint64
+}
+
+type retiredNode struct {
+	addr nvm.Addr
+	era  uint64
+}
+
+func newEBR(alloc *palloc.Allocator, threads int) *ebr {
+	e := &ebr{alloc: alloc, slots: make([]ebrSlot, threads)}
+	e.era.Store(1)
+	return e
+}
+
+// enter announces that handle tid is traversing.
+func (e *ebr) enter(tid int) {
+	e.slots[tid].ann.Store(e.era.Load() + 1)
+}
+
+// exit announces that handle tid holds no node references.
+func (e *ebr) exit(tid int) {
+	e.slots[tid].ann.Store(0)
+}
+
+// retire schedules a node for reclamation once a grace period has passed.
+// Called with tid's slot entered.
+func (e *ebr) retire(tid int, addr nvm.Addr) {
+	s := &e.slots[tid]
+	s.retired = append(s.retired, retiredNode{addr: addr, era: e.era.Load()})
+	s.pending++
+	if s.pending >= 64 {
+		s.pending = 0
+		e.scan(tid)
+	}
+}
+
+// scan advances the era and frees tid's retired nodes whose era precedes
+// every active announcement.
+func (e *ebr) scan(tid int) {
+	e.era.Add(1)
+	min := e.era.Load()
+	for i := range e.slots {
+		if i == tid {
+			continue // the caller is active but holds no retired refs
+		}
+		if a := e.slots[i].ann.Load(); a != 0 && a-1 < min {
+			min = a - 1
+		}
+	}
+	s := &e.slots[tid]
+	kept := s.retired[:0]
+	for _, r := range s.retired {
+		if r.era < min {
+			e.alloc.Free(r.addr)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	s.retired = kept
+}
+
+// drainAll frees every retired node unconditionally. Only safe when no
+// handle is operating (shutdown, or single-threaded recovery).
+func (e *ebr) drainAll() {
+	for i := range e.slots {
+		for _, r := range e.slots[i].retired {
+			e.alloc.Free(r.addr)
+		}
+		e.slots[i].retired = nil
+		e.slots[i].pending = 0
+	}
+}

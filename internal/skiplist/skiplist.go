@@ -1,0 +1,491 @@
+// Package skiplist implements the five skiplist variants of the paper's
+// Sec. 4.2 (Fig. 5) with a single engine:
+//
+//   - DL — the durably linearizable lock-free skiplist of Wang et al.:
+//     every node lives in NVM, all multi-word updates go through PMwCAS,
+//     and every critical update is persisted before the operation returns.
+//   - PNoFlush — DL with persist instructions removed ("nonsensical": fast
+//     but not crash consistent).
+//   - PHTMMwCAS — DL with the descriptor protocol replaced by HTM-based
+//     multi-word updates (still no crash consistency).
+//   - BDL — the paper's contribution: towers in DRAM, KV pairs in NVM
+//     blocks managed by the epoch system, HTM for multi-word atomicity.
+//     Buffered-durably linearizable; recovery rebuilds the towers.
+//   - Transient — everything in DRAM, descriptor MwCAS (the T-Skiplist
+//     upper bound).
+//
+// All variants share the tower layout, the traversal, and an epoch-based
+// reclamation scheme for unlinked nodes.
+package skiplist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/mwcas"
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/palloc"
+)
+
+// Variant selects one of the paper's five skiplist configurations.
+type Variant int
+
+const (
+	// DL is the strictly durable PMwCAS skiplist (Wang et al.).
+	DL Variant = iota
+	// PNoFlush is DL without persist instructions (not crash consistent).
+	PNoFlush
+	// PHTMMwCAS replaces descriptors with HTM (not crash consistent).
+	PHTMMwCAS
+	// BDL is the buffered-durable HTM skiplist (the paper's design).
+	BDL
+	// Transient keeps everything in DRAM (T-Skiplist).
+	Transient
+)
+
+func (v Variant) String() string {
+	switch v {
+	case DL:
+		return "DL-Skiplist"
+	case PNoFlush:
+		return "P-Skiplist-no-flush"
+	case PHTMMwCAS:
+		return "P-Skiplist-HTM-MwCAS"
+	case BDL:
+		return "BDL-Skiplist"
+	case Transient:
+		return "T-Skiplist"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+const (
+	delMark = uint64(1) << 62
+
+	// Node payload layout (words), relative to palloc.Payload.
+	offKey   = 0
+	offValue = 1 // inline value, or NVM block address for BDL
+	offLevel = 2
+	offNext  = 3
+
+	// NodeTag marks skiplist tower blocks in their allocator.
+	NodeTag uint8 = 0x51
+	// descTag marks MwCAS descriptor blocks.
+	descTag uint8 = 0x52
+	// headTag marks the head sentinel so recovery can find it.
+	headTag uint8 = 0x53
+
+	defaultMaxLevel = 20
+	retryCode       = 0xD7 // explicit-abort code: validation failed, re-find
+)
+
+// Config describes a skiplist instance.
+type Config struct {
+	Variant Variant
+	// IndexHeap holds the towers: the NVM heap for DL/PNoFlush/PHTMMwCAS,
+	// a DRAM-mode heap for BDL and Transient.
+	IndexHeap *nvm.Heap
+	// DataSys is the epoch system for KV blocks (BDL only).
+	DataSys *epoch.System
+	// TM is the transactional memory unit (PHTMMwCAS and BDL).
+	TM *htm.TM
+	// MaxLevel bounds tower height (default 20).
+	MaxLevel int
+	// Threads is the maximum number of concurrent handles (default 64).
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLevel == 0 {
+		c.MaxLevel = defaultMaxLevel
+	}
+	if c.Threads == 0 {
+		c.Threads = 64
+	}
+	return c
+}
+
+// List is a concurrent ordered map from uint64 keys to uint64 values.
+// Obtain a Handle per goroutine to operate on it.
+type List struct {
+	cfg   Config
+	h     *nvm.Heap // index heap
+	al    *palloc.Allocator
+	desc  *mwcas.Desc       // descriptor engine (DL, PNoFlush, Transient)
+	lock  *htm.FallbackLock // HTM variants
+	head  nvm.Addr
+	reap  *ebr
+	count atomic.Int64
+	tids  atomic.Int32
+}
+
+// New creates a list. For BDL, cfg.IndexHeap must be a DRAM-mode heap and
+// cfg.DataSys the epoch system over the NVM heap.
+func New(cfg Config) *List {
+	cfg = cfg.withDefaults()
+	l := &List{cfg: cfg, h: cfg.IndexHeap}
+	l.al = palloc.New(l.h)
+	switch cfg.Variant {
+	case DL:
+		l.desc = mwcas.NewDesc(l.h, true, cfg.Threads, l.allocDescBlock)
+	case PNoFlush, Transient:
+		l.desc = mwcas.NewDesc(l.h, false, cfg.Threads, l.allocDescBlock)
+	case PHTMMwCAS, BDL:
+		if cfg.TM == nil {
+			panic("skiplist: HTM variant requires a TM")
+		}
+		l.lock = htm.NewFallbackLock(cfg.TM)
+	}
+	if cfg.Variant == BDL && cfg.DataSys == nil {
+		panic("skiplist: BDL requires an epoch system")
+	}
+	l.reap = newEBR(l.al, cfg.Threads)
+	l.head = l.allocTagged(headTag, 0, 0, cfg.MaxLevel, make([]uint64, cfg.MaxLevel))
+	return l
+}
+
+func (l *List) allocDescBlock(words int) nvm.Addr {
+	b := l.al.AllocWords(words, descTag)
+	return palloc.Payload(b)
+}
+
+// allocNode allocates and initializes a tower. In the DL variant the node
+// is persisted before it becomes reachable (a pointer to an unpersisted
+// node would dangle after a crash).
+func (l *List) allocNode(key, value uint64, level int, nexts []uint64) nvm.Addr {
+	return l.allocTagged(NodeTag, key, value, level, nexts)
+}
+
+func (l *List) allocTagged(tag uint8, key, value uint64, level int, nexts []uint64) nvm.Addr {
+	b := l.al.AllocWords(offNext+level, tag)
+	p := palloc.Payload(b)
+	l.h.Store(p+offKey, key)
+	l.h.Store(p+offValue, value)
+	l.h.Store(p+offLevel, uint64(level))
+	for i := 0; i < level; i++ {
+		l.h.Store(p+offNext+nvm.Addr(i), nexts[i])
+	}
+	if l.cfg.Variant == DL {
+		l.h.FlushRange(b, palloc.HeaderWords+offNext+level)
+		l.h.Fence()
+	}
+	return b
+}
+
+func (l *List) key(n nvm.Addr) uint64   { return l.h.Load(palloc.Payload(n) + offKey) }
+func (l *List) level(n nvm.Addr) int    { return int(l.h.Load(palloc.Payload(n) + offLevel)) }
+func (l *List) valueAddr(n nvm.Addr) nvm.Addr {
+	return palloc.Payload(n) + offValue
+}
+func (l *List) nextAddr(n nvm.Addr, i int) nvm.Addr {
+	return palloc.Payload(n) + offNext + nvm.Addr(i)
+}
+
+// read returns a word's logical value, helping descriptor-based updates.
+func (l *List) read(a nvm.Addr) uint64 {
+	if l.desc != nil {
+		return l.desc.Read(a)
+	}
+	return l.h.Load(a)
+}
+
+// Len returns the number of keys in the list.
+func (l *List) Len() int { return int(l.count.Load()) }
+
+// Variant returns the list's configuration variant.
+func (l *List) Variant() Variant { return l.cfg.Variant }
+
+// IndexAllocator exposes the tower allocator (space accounting, tests).
+func (l *List) IndexAllocator() *palloc.Allocator { return l.al }
+
+// Handle is a per-goroutine accessor.
+type Handle struct {
+	l        *List
+	tid      int
+	w        *epoch.Worker // BDL only
+	rng      uint64
+	prealloc epoch.Block // BDL: preallocated KV block
+}
+
+// NewHandle registers a goroutine-local handle.
+func (l *List) NewHandle() *Handle {
+	tid := int(l.tids.Add(1)) - 1
+	if tid >= l.cfg.Threads {
+		panic("skiplist: more handles than cfg.Threads")
+	}
+	h := &Handle{l: l, tid: tid, rng: uint64(tid)*0x9e3779b97f4a7c15 + 0x1234}
+	if l.cfg.Variant == BDL {
+		h.w = l.cfg.DataSys.Register()
+	}
+	return h
+}
+
+// Close releases the handle's epoch worker (BDL).
+func (h *Handle) Close() {
+	if h.w != nil {
+		h.l.cfg.DataSys.Release(h.w)
+		h.w = nil
+	}
+}
+
+func (h *Handle) randLevel() int {
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	lvl := 1
+	v := h.rng
+	for v&1 == 1 && lvl < h.l.cfg.MaxLevel {
+		lvl++
+		v >>= 1
+	}
+	return lvl
+}
+
+// find locates the key's position: preds[i] is the rightmost node whose
+// key < k at level i, succs[i] the (unmarked) value of preds[i].next[i].
+// It returns the node with key k, if linked.
+func (l *List) find(k uint64) (preds []nvm.Addr, succs []uint64, found nvm.Addr) {
+	ml := l.cfg.MaxLevel
+	preds = make([]nvm.Addr, ml)
+	succs = make([]uint64, ml)
+	x := l.head
+	for i := ml - 1; i >= 0; i-- {
+		for {
+			raw := l.read(l.nextAddr(x, i))
+			nxt := raw &^ delMark
+			if nxt == 0 || l.key(nvm.Addr(nxt)) >= k {
+				preds[i] = x
+				succs[i] = nxt
+				break
+			}
+			x = nvm.Addr(nxt)
+		}
+	}
+	if s := succs[0]; s != 0 && l.key(nvm.Addr(s)) == k {
+		found = nvm.Addr(s)
+	}
+	return preds, succs, found
+}
+
+// Get returns the value stored under k.
+func (h *Handle) Get(k uint64) (uint64, bool) {
+	l := h.l
+	l.reap.enter(h.tid)
+	defer l.reap.exit(h.tid)
+	if l.cfg.Variant == BDL {
+		return h.getBDL(k)
+	}
+	_, _, found := l.find(k)
+	if found == 0 {
+		return 0, false
+	}
+	// A concurrent remove may have unlinked the node after find; the
+	// marked next pointer makes that visible.
+	if l.read(l.nextAddr(found, 0))&delMark != 0 {
+		return 0, false
+	}
+	return l.read(l.valueAddr(found)), true
+}
+
+// getBDL dereferences the node's NVM block inside a small transaction so
+// that a racing remove (which marks next[0] in the same transaction that
+// retires the block) cannot expose a reclaimed block's contents.
+func (h *Handle) getBDL(k uint64) (uint64, bool) {
+	l := h.l
+	for {
+		_, _, found := l.find(k)
+		if found == 0 {
+			return 0, false
+		}
+		var v uint64
+		var ok bool
+		res := l.cfg.TM.Attempt(func(tx *htm.Tx) {
+			tx.Subscribe(l.lock)
+			if tx.LoadAddr(l.h, l.nextAddr(found, 0))&delMark != 0 {
+				ok = false
+				return
+			}
+			blk := l.cfg.DataSys.BlockAt(nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found))))
+			v = blk.ValueTx(tx)
+			ok = true
+		})
+		if res.Committed {
+			return v, ok
+		}
+		if res.Cause == htm.CauseLocked {
+			l.lock.WaitUnlocked()
+		}
+	}
+}
+
+// Contains reports whether k is present.
+func (h *Handle) Contains(k uint64) bool {
+	_, ok := h.Get(k)
+	return ok
+}
+
+// Insert adds or updates k (upsert), reporting whether an existing value
+// was replaced.
+func (h *Handle) Insert(k, v uint64) bool {
+	l := h.l
+	l.reap.enter(h.tid)
+	defer l.reap.exit(h.tid)
+	if l.cfg.Variant == BDL {
+		return h.insertBDL(k, v)
+	}
+	for {
+		preds, succs, found := l.find(k)
+		if found != 0 {
+			old := l.read(l.valueAddr(found))
+			if h.apply([]mwcas.Entry{{Addr: l.valueAddr(found), Old: old, New: v}}) {
+				return true
+			}
+			continue
+		}
+		lvl := h.randLevel()
+		node := l.allocNode(k, v, lvl, succs[:lvl])
+		entries := make([]mwcas.Entry, lvl)
+		for i := 0; i < lvl; i++ {
+			entries[i] = mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: succs[i], New: uint64(node)}
+		}
+		if h.apply(entries) {
+			l.count.Add(1)
+			return false
+		}
+		l.al.Free(node) // never became visible
+	}
+}
+
+// Remove deletes k, reporting whether it was present. The unlink marks the
+// node's own next pointers and swings the predecessors' pointers in one
+// atomic multi-word update, so racing inserts that chose the node as a
+// predecessor fail and retry.
+func (h *Handle) Remove(k uint64) bool {
+	l := h.l
+	l.reap.enter(h.tid)
+	defer l.reap.exit(h.tid)
+	if l.cfg.Variant == BDL {
+		return h.removeBDL(k)
+	}
+	for {
+		preds, _, found := l.find(k)
+		if found == 0 {
+			return false
+		}
+		lvl := l.level(found)
+		entries := make([]mwcas.Entry, 0, 2*lvl)
+		retryFind := false
+		for i := 0; i < lvl; i++ {
+			nxt := l.read(l.nextAddr(found, i))
+			if nxt&delMark != 0 {
+				retryFind = true // another remove is ahead of us
+				break
+			}
+			entries = append(entries,
+				mwcas.Entry{Addr: l.nextAddr(found, i), Old: nxt, New: nxt | delMark},
+				mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: uint64(found), New: nxt})
+		}
+		if retryFind {
+			// Help the competing remove finish by re-finding; if the key
+			// is gone we lost the race.
+			if _, _, f := l.find(k); f == 0 {
+				return false
+			}
+			continue
+		}
+		if h.apply(entries) {
+			l.reap.retire(h.tid, found)
+			l.count.Add(-1)
+			return true
+		}
+	}
+}
+
+// apply performs one atomic multi-word update using the variant's
+// mechanism: a (P)MwCAS descriptor or a hardware transaction.
+func (h *Handle) apply(entries []mwcas.Entry) bool {
+	if h.l.desc != nil {
+		return h.l.desc.Apply(h.tid, entries)
+	}
+	return h.l.htmApply(entries, nil, nil) == applyOK
+}
+
+// applyResult is the outcome of one transactional multi-word update.
+type applyResult int
+
+const (
+	// applyOK: committed.
+	applyOK applyResult = iota
+	// applyRetry: validation failed; the caller should re-find and retry.
+	applyRetry
+	// applyOldSeeNew: the operation observed a block from a newer epoch
+	// and must restart in the current epoch (BDL).
+	applyOldSeeNew
+)
+
+// htmApply runs the entries — validate all Olds, run the optional extra
+// transactional step, store all News — as one hardware transaction with a
+// global-lock fallback. extra may call tx.Abort(retryCode) or
+// tx.Abort(epoch.OldSeeNewCode). direct is the fallback-path version of
+// extra: it performs any non-entry reads/writes itself (using DirectStore)
+// and returns the outcome; entries are validated before and stored after
+// it only when it returns applyOK.
+func (l *List) htmApply(entries []mwcas.Entry, extra func(tx *htm.Tx), direct func() applyResult) applyResult {
+	const maxRetries = 64
+	retries := 0
+	for {
+		res := l.cfg.TM.Attempt(func(tx *htm.Tx) {
+			tx.Subscribe(l.lock)
+			for _, e := range entries {
+				if tx.LoadAddr(l.h, e.Addr) != e.Old {
+					tx.Abort(retryCode)
+				}
+			}
+			if extra != nil {
+				extra(tx)
+			}
+			for _, e := range entries {
+				tx.StoreAddr(l.h, e.Addr, e.New)
+			}
+		})
+		switch {
+		case res.Committed:
+			return applyOK
+		case res.Cause == htm.CauseExplicit && res.Code == retryCode:
+			return applyRetry
+		case res.Cause == htm.CauseExplicit && res.Code == epoch.OldSeeNewCode:
+			return applyOldSeeNew
+		case res.Cause == htm.CauseExplicit:
+			panic(fmt.Sprintf("skiplist: unexpected abort code %#x", res.Code))
+		case res.Cause == htm.CauseLocked:
+			l.lock.WaitUnlocked()
+		default:
+			retries++
+			if retries >= maxRetries {
+				return l.htmFallback(entries, direct)
+			}
+		}
+	}
+}
+
+func (l *List) htmFallback(entries []mwcas.Entry, direct func() applyResult) applyResult {
+	l.lock.Acquire()
+	defer l.lock.Release()
+	for _, e := range entries {
+		if l.h.Load(e.Addr) != e.Old {
+			return applyRetry
+		}
+	}
+	if direct != nil {
+		if r := direct(); r != applyOK {
+			return r
+		}
+	}
+	for _, e := range entries {
+		l.cfg.TM.DirectStoreAddr(l.h, e.Addr, e.New)
+	}
+	return applyOK
+}

@@ -1,0 +1,433 @@
+package skiplist
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/nvm"
+)
+
+// build constructs a list of the given variant with fresh substrates.
+func build(t *testing.T, v Variant, words int) (*List, func()) {
+	t.Helper()
+	switch v {
+	case DL, PNoFlush, PHTMMwCAS:
+		h := nvm.New(nvm.Config{Words: words})
+		cfg := Config{Variant: v, IndexHeap: h}
+		if v == PHTMMwCAS {
+			cfg.TM = htm.Default()
+		}
+		return New(cfg), func() {}
+	case Transient:
+		h := nvm.New(nvm.Config{Words: words, Mode: nvm.ModeDRAM})
+		return New(Config{Variant: v, IndexHeap: h}), func() {}
+	case BDL:
+		dram := nvm.New(nvm.Config{Words: words, Mode: nvm.ModeDRAM})
+		nvmHeap := nvm.New(nvm.Config{Words: words})
+		sys := epoch.New(nvmHeap, epoch.Config{Manual: true})
+		l := New(Config{Variant: v, IndexHeap: dram, DataSys: sys, TM: htm.Default()})
+		return l, func() { sys.Stop() }
+	}
+	panic("unknown variant")
+}
+
+var allVariants = []Variant{DL, PNoFlush, PHTMMwCAS, BDL, Transient}
+
+func TestBasicOpsAllVariants(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			l, done := build(t, v, 1<<20)
+			defer done()
+			h := l.NewHandle()
+			defer h.Close()
+
+			if h.Contains(5) {
+				t.Fatal("empty list contains 5")
+			}
+			if replaced := h.Insert(5, 50); replaced {
+				t.Fatal("fresh insert reported replacement")
+			}
+			if got, ok := h.Get(5); !ok || got != 50 {
+				t.Fatalf("Get(5) = %d,%v", got, ok)
+			}
+			if replaced := h.Insert(5, 51); !replaced {
+				t.Fatal("update not reported as replacement")
+			}
+			if got, _ := h.Get(5); got != 51 {
+				t.Fatalf("Get(5) after update = %d", got)
+			}
+			if !h.Remove(5) {
+				t.Fatal("Remove(5) = false")
+			}
+			if h.Contains(5) {
+				t.Fatal("contains 5 after remove")
+			}
+			if h.Remove(5) {
+				t.Fatal("double remove succeeded")
+			}
+			if l.Len() != 0 {
+				t.Fatalf("Len = %d", l.Len())
+			}
+		})
+	}
+}
+
+func TestOrderedTraversal(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			l, done := build(t, v, 1<<20)
+			defer done()
+			h := l.NewHandle()
+			defer h.Close()
+			keys := []uint64{42, 7, 19, 3, 88, 61, 14}
+			for _, k := range keys {
+				h.Insert(k, k*10)
+			}
+			var got []uint64
+			l.Ascend(func(k, val uint64) bool {
+				if val != k*10 {
+					t.Fatalf("value of %d = %d", k, val)
+				}
+				got = append(got, k)
+				return true
+			})
+			want := []uint64{3, 7, 14, 19, 42, 61, 88}
+			if len(got) != len(want) {
+				t.Fatalf("traversal %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("traversal %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	l, done := build(t, BDL, 1<<20)
+	defer done()
+	h := l.NewHandle()
+	defer h.Close()
+	for _, k := range []uint64{10, 20, 30} {
+		h.Insert(k, k+1)
+	}
+	k, v, ok := h.Successor(10)
+	if !ok || k != 20 || v != 21 {
+		t.Fatalf("Successor(10) = %d,%d,%v", k, v, ok)
+	}
+	if _, _, ok := h.Successor(30); ok {
+		t.Fatal("Successor(30) should not exist")
+	}
+	k, _, ok = h.Successor(0)
+	if !ok || k != 10 {
+		t.Fatalf("Successor(0) = %d,%v", k, ok)
+	}
+}
+
+func TestModelEquivalenceSequential(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			l, done := build(t, v, 1<<21)
+			defer done()
+			h := l.NewHandle()
+			defer h.Close()
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewPCG(9, 9))
+			for i := 0; i < 3000; i++ {
+				k := rng.Uint64N(200)
+				switch rng.Uint64N(4) {
+				case 0:
+					got := h.Remove(k)
+					_, want := model[k]
+					if got != want {
+						t.Fatalf("step %d: Remove(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(model, k)
+				case 1:
+					gv, gok := h.Get(k)
+					wv, wok := model[k]
+					if gok != wok || gv != wv {
+						t.Fatalf("step %d: Get(%d) = %d,%v want %d,%v", i, k, gv, gok, wv, wok)
+					}
+				default:
+					val := rng.Uint64() >> 2 // keep below the mark bits
+					got := h.Insert(k, val)
+					_, want := model[k]
+					if got != want {
+						t.Fatalf("step %d: Insert(%d) replaced=%v, want %v", i, k, got, want)
+					}
+					model[k] = val
+				}
+			}
+			if l.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", l.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestConcurrentDistinctRanges(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			l, done := build(t, v, 1<<22)
+			defer done()
+			const goroutines = 6
+			const perG = 300
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := l.NewHandle()
+					defer h.Close()
+					base := uint64(id * perG)
+					for i := uint64(0); i < perG; i++ {
+						h.Insert(base+i, base+i+1)
+					}
+					for i := uint64(0); i < perG; i += 2 {
+						h.Remove(base + i)
+					}
+				}(g)
+			}
+			wg.Wait()
+			if l.Len() != goroutines*perG/2 {
+				t.Fatalf("Len = %d, want %d", l.Len(), goroutines*perG/2)
+			}
+			h := l.NewHandle()
+			defer h.Close()
+			for g := 0; g < goroutines; g++ {
+				base := uint64(g * perG)
+				for i := uint64(0); i < perG; i++ {
+					got, ok := h.Get(base + i)
+					if i%2 == 0 {
+						if ok {
+							t.Fatalf("key %d should be removed", base+i)
+						}
+					} else if !ok || got != base+i+1 {
+						t.Fatalf("Get(%d) = %d,%v", base+i, got, ok)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentContendedKeys(t *testing.T) {
+	for _, v := range []Variant{DL, PHTMMwCAS, BDL} {
+		t.Run(v.String(), func(t *testing.T) {
+			l, done := build(t, v, 1<<22)
+			defer done()
+			const goroutines = 4
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := l.NewHandle()
+					defer h.Close()
+					rng := rand.New(rand.NewPCG(uint64(id), 5))
+					for i := 0; i < 800; i++ {
+						k := rng.Uint64N(32)
+						switch rng.Uint64N(3) {
+						case 0:
+							h.Remove(k)
+						case 1:
+							h.Get(k)
+						default:
+							h.Insert(k, k<<8|uint64(id))
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			// Structural integrity: ordered, unique keys, count matches.
+			var prev uint64
+			first := true
+			n := 0
+			l.Ascend(func(k, _ uint64) bool {
+				if !first && k <= prev {
+					t.Fatalf("order violation: %d after %d", k, prev)
+				}
+				prev, first = k, false
+				n++
+				return true
+			})
+			if n != l.Len() {
+				t.Fatalf("traversal found %d keys, Len() = %d", n, l.Len())
+			}
+		})
+	}
+}
+
+func TestDLPersistsEveryOperation(t *testing.T) {
+	h := nvm.New(nvm.Config{Words: 1 << 20})
+	l := New(Config{Variant: DL, IndexHeap: h})
+	hd := l.NewHandle()
+	hd.Insert(1, 11)
+	hd.Insert(2, 22)
+	hd.Insert(1, 111) // value update
+	hd.Remove(2)
+	// Crash with NO stray write-back: strict DL means everything already
+	// reached the media.
+	h.Crash(nvm.CrashOptions{})
+	l2, n := RecoverDL(h, Config{Variant: DL})
+	if n != 1 {
+		t.Fatalf("recovered %d pairs, want 1", n)
+	}
+	h2 := l2.NewHandle()
+	if v, ok := h2.Get(1); !ok || v != 111 {
+		t.Fatalf("recovered Get(1) = %d,%v", v, ok)
+	}
+	if h2.Contains(2) {
+		t.Fatal("removed key survived")
+	}
+}
+
+func TestPNoFlushIsNotCrashConsistent(t *testing.T) {
+	h := nvm.New(nvm.Config{Words: 1 << 20})
+	l := New(Config{Variant: PNoFlush, IndexHeap: h})
+	hd := l.NewHandle()
+	for k := uint64(0); k < 100; k++ {
+		hd.Insert(k, k)
+	}
+	h.Crash(nvm.CrashOptions{})
+	// Nothing was flushed: the head sentinel itself is gone.
+	_, n := RecoverDL(h, Config{Variant: PNoFlush})
+	if n != 0 {
+		t.Fatalf("recovered %d pairs from a no-flush list, want 0", n)
+	}
+}
+
+func TestDLFlushCountsExceedNoFlush(t *testing.T) {
+	run := func(v Variant) int64 {
+		h := nvm.New(nvm.Config{Words: 1 << 20})
+		l := New(Config{Variant: v, IndexHeap: h})
+		hd := l.NewHandle()
+		before := h.Stats().Flushes // exclude construction
+		for k := uint64(0); k < 200; k++ {
+			hd.Insert(k, k)
+		}
+		return h.Stats().Flushes - before
+	}
+	dl, nf := run(DL), run(PNoFlush)
+	// Both variants pay allocator-metadata flushes; only DL flushes node
+	// contents and the full PMwCAS protocol. The paper's Fig. 5 gap.
+	if dl < nf*3 {
+		t.Fatalf("DL flushes (%d) not substantially above no-flush allocator baseline (%d)", dl, nf)
+	}
+	if dl < 200*5 {
+		t.Fatalf("DL issued only %d flushes for 200 inserts; PMwCAS should flush descriptor+installs+status per op", dl)
+	}
+}
+
+func TestBDLCrashRecovery(t *testing.T) {
+	dram := nvm.New(nvm.Config{Words: 1 << 20, Mode: nvm.ModeDRAM})
+	nvmHeap := nvm.New(nvm.Config{Words: 1 << 20})
+	sys := epoch.New(nvmHeap, epoch.Config{Manual: true})
+	l := New(Config{Variant: BDL, IndexHeap: dram, DataSys: sys, TM: htm.Default()})
+	hd := l.NewHandle()
+	for k := uint64(0); k < 100; k++ {
+		hd.Insert(k, k+1000)
+	}
+	hd.Remove(7)
+	hd.Close()
+	sys.Sync()
+	hd2 := l.NewHandle()
+	hd2.Insert(500, 1) // unpersisted tail
+	hd2.Close()
+	sys.SimulateCrash(nvm.CrashOptions{EvictFraction: 0.7, Seed: 3})
+	dram.Crash(nvm.CrashOptions{}) // DRAM towers vanish too
+
+	dram2 := nvm.New(nvm.Config{Words: 1 << 20, Mode: nvm.ModeDRAM})
+	var l2 *List
+	sys2 := epoch.Recover(nvmHeap, epoch.Config{Manual: true}, nil)
+	l2 = New(Config{Variant: BDL, IndexHeap: dram2, DataSys: sys2, TM: htm.Default()})
+	// Collect then rebuild (records reference sys2's blocks).
+	var recs []epoch.BlockRecord
+	sys2.Stop()
+	sys3 := epoch.Recover(nvmHeap, epoch.Config{Manual: true}, func(r epoch.BlockRecord) { recs = append(recs, r) })
+	l2 = New(Config{Variant: BDL, IndexHeap: dram2, DataSys: sys3, TM: htm.Default()})
+	for _, r := range recs {
+		l2.RebuildBlock(r)
+	}
+	if l2.Len() != 99 {
+		t.Fatalf("recovered Len = %d, want 99", l2.Len())
+	}
+	h2 := l2.NewHandle()
+	defer h2.Close()
+	for k := uint64(0); k < 100; k++ {
+		v, ok := h2.Get(k)
+		if k == 7 {
+			if ok {
+				t.Fatal("removed key 7 survived")
+			}
+			continue
+		}
+		if !ok || v != k+1000 {
+			t.Fatalf("recovered Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if h2.Contains(500) {
+		t.Fatal("unpersisted key 500 survived")
+	}
+	// The recovered list must be fully operational.
+	h2.Insert(7, 7007)
+	if v, _ := h2.Get(7); v != 7007 {
+		t.Fatal("recovered list not writable")
+	}
+}
+
+func TestBDLEpochCrossing(t *testing.T) {
+	dram := nvm.New(nvm.Config{Words: 1 << 20, Mode: nvm.ModeDRAM})
+	nvmHeap := nvm.New(nvm.Config{Words: 1 << 20})
+	sys := epoch.New(nvmHeap, epoch.Config{Manual: true})
+	l := New(Config{Variant: BDL, IndexHeap: dram, DataSys: sys, TM: htm.Default()})
+	hd := l.NewHandle()
+	defer hd.Close()
+	hd.Insert(1, 10)
+	sys.AdvanceOnce() // cross an epoch: next update is out-of-place
+	live := sys.Allocator().LiveBlocks()
+	hd.Insert(1, 20)
+	if got := sys.Allocator().LiveBlocks(); got != live+1 {
+		t.Fatalf("cross-epoch update should retain the old copy: live %d -> %d", live, got)
+	}
+	if v, _ := hd.Get(1); v != 20 {
+		t.Fatalf("Get(1) = %d", v)
+	}
+	hd.Insert(1, 30) // same epoch: in-place
+	if v, _ := hd.Get(1); v != 30 {
+		t.Fatalf("Get(1) = %d", v)
+	}
+}
+
+func TestEBRReclaimsNodes(t *testing.T) {
+	l, done := build(t, Transient, 1<<21)
+	defer done()
+	h := l.NewHandle()
+	defer h.Close()
+	for k := uint64(0); k < 500; k++ {
+		h.Insert(k, k)
+	}
+	after := l.IndexAllocator().LiveBlocks()
+	for k := uint64(0); k < 500; k++ {
+		h.Remove(k)
+	}
+	// Force reclamation.
+	l.reap.scan(h.tid)
+	l.reap.drainAll()
+	if live := l.IndexAllocator().LiveBlocks(); live >= after {
+		t.Fatalf("no node reclamation: live %d -> %d", after, live)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	for _, v := range allVariants {
+		if v.String() == "" {
+			t.Fatalf("variant %d has empty name", v)
+		}
+	}
+}

@@ -1,0 +1,519 @@
+// Package veb implements the paper's first case study (Sec. 4.1): a
+// concurrent van Emde Boas tree with doubly logarithmic operations,
+// synchronized with hardware transactional memory in the style of
+// Khalaji et al. (PPoPP'24), in two flavors:
+//
+//   - HTM-vEB (transient): the whole tree, values included, lives in
+//     DRAM; each operation runs as one hardware transaction with a
+//     global-lock fallback.
+//   - PHTM-vEB (buffered durable): the index stays in DRAM for speed,
+//     while leaf value slots hold addresses of KV blocks in NVM managed
+//     by the epoch system. Operations follow the Listing-1 discipline
+//     (preallocation, epoch stamping, OldSeeNew restarts, post-commit
+//     tracking), and a crash recovers to a recent epoch boundary by
+//     rescanning the KV blocks and rebuilding the tree.
+//
+// The MEMTYPE abort anomaly of the paper's Fig. 2 is handled the same
+// way: after such an abort the operation performs a non-transactional
+// "pre-walk" of its search path and retries.
+package veb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/nvm"
+)
+
+const maxRetries = 64
+
+// BlockTag marks this tree's KV blocks in the shared NVM heap.
+const BlockTag uint8 = 0x7E
+
+// Config describes a tree.
+type Config struct {
+	// UniverseBits is log2 of the key universe (keys are in [0, 2^bits)).
+	UniverseBits uint8
+	// TM is the transactional memory unit. Required.
+	TM *htm.TM
+	// DataSys, when non-nil, makes the tree buffered durable (PHTM-vEB):
+	// values live in NVM blocks managed by this epoch system.
+	DataSys *epoch.System
+}
+
+// Tree is a concurrent vEB tree mapping keys in [0, 2^UniverseBits) to
+// uint64 values.
+type Tree struct {
+	cfg   Config
+	tm    *htm.TM
+	sys   *epoch.System // nil for transient
+	pool  *pool
+	root  uint64
+	lock  *htm.FallbackLock
+	count atomic.Int64
+
+	perW []vebWState
+}
+
+type vebWState struct {
+	prealloc epoch.Block
+	_        [6]uint64
+}
+
+// New creates a tree. Universe bits must be in [1, 48].
+func New(cfg Config) *Tree {
+	if cfg.UniverseBits == 0 || cfg.UniverseBits > 48 {
+		panic(fmt.Sprintf("veb: bad universe bits %d", cfg.UniverseBits))
+	}
+	if cfg.TM == nil {
+		panic("veb: TM required")
+	}
+	t := &Tree{
+		cfg:  cfg,
+		tm:   cfg.TM,
+		sys:  cfg.DataSys,
+		pool: newPool(),
+		lock: htm.NewFallbackLock(cfg.TM),
+		perW: make([]vebWState, 512),
+	}
+	t.root = t.pool.alloc(cfg.UniverseBits)
+	return t
+}
+
+// Persistent reports whether the tree is the buffered-durable flavor.
+func (t *Tree) Persistent() bool { return t.sys != nil }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return int(t.count.Load()) }
+
+// DRAMBytes approximates the DRAM consumed by the index (Table 3).
+func (t *Tree) DRAMBytes() int64 { return t.pool.DRAMBytes() }
+
+func (t *Tree) rootNode() *node { return t.pool.node(t.root) }
+
+func (t *Tree) checkKey(k uint64) {
+	if k >= uint64(1)<<t.cfg.UniverseBits {
+		panic(fmt.Sprintf("veb: key %d outside universe 2^%d", k, t.cfg.UniverseBits))
+	}
+}
+
+// preWalk warms the search path non-transactionally (the paper's MEMTYPE
+// mitigation). Reads may be torn; the walk is bounded and its results are
+// discarded.
+func (t *Tree) preWalk(k uint64) {
+	defer func() { recover() }() // tolerate torn reads of a live tree
+	m := directMem{t.tm}
+	t.findSlot(m, t.rootNode(), k)
+}
+
+// Get returns the value stored under k.
+func (t *Tree) Get(k uint64) (uint64, bool) {
+	t.checkKey(k)
+	preWalked := false
+	for {
+		var v uint64
+		var ok bool
+		var opts []htm.AttemptOption
+		if preWalked {
+			opts = append(opts, htm.PreWalked())
+		}
+		res := t.tm.Attempt(func(tx *htm.Tx) {
+			tx.Subscribe(t.lock)
+			m := txMem{tx}
+			v, ok = 0, false
+			if slot := t.findSlot(m, t.rootNode(), k); slot != nil {
+				v = m.load(slot)
+				if t.sys != nil {
+					v = t.sys.BlockAt(nvm.Addr(v)).ValueTx(tx)
+				}
+				ok = true
+			}
+		}, opts...)
+		if res.Committed {
+			return v, ok
+		}
+		switch res.Cause {
+		case htm.CauseLocked:
+			t.lock.WaitUnlocked()
+		case htm.CauseMemType:
+			t.preWalk(k)
+			preWalked = true
+		}
+	}
+}
+
+// Contains reports whether k is present.
+func (t *Tree) Contains(k uint64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Successor returns the smallest key strictly greater than k and its
+// value.
+func (t *Tree) Successor(k uint64) (uint64, uint64, bool) {
+	t.checkKey(k)
+	for {
+		var sk, v uint64
+		var ok bool
+		res := t.tm.Attempt(func(tx *htm.Tx) {
+			tx.Subscribe(t.lock)
+			m := txMem{tx}
+			sk = t.succRec(m, t.rootNode(), k)
+			if sk == EMPTY {
+				ok = false
+				return
+			}
+			slot := t.findSlot(m, t.rootNode(), sk)
+			v = m.load(slot)
+			if t.sys != nil {
+				v = t.sys.BlockAt(nvm.Addr(v)).ValueTx(tx)
+			}
+			ok = true
+		})
+		if res.Committed {
+			return sk, v, ok
+		}
+		if res.Cause == htm.CauseLocked {
+			t.lock.WaitUnlocked()
+		}
+	}
+}
+
+// Range calls fn for every key in [lo, hi] in ascending order, stopping
+// early if fn returns false. Each step is one Successor transaction, so
+// the scan is not a single atomic snapshot (matching how vEB range
+// queries compose from successor operations).
+func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	t.checkKey(lo)
+	if v, ok := t.Get(lo); ok {
+		if !fn(lo, v) {
+			return
+		}
+	}
+	k := lo
+	for {
+		nk, v, ok := t.Successor(k)
+		if !ok || nk > hi {
+			return
+		}
+		if !fn(nk, v) {
+			return
+		}
+		k = nk
+	}
+}
+
+// Insert adds or updates k (upsert), reporting whether an existing value
+// was replaced. For persistent trees pass the worker whose epoch brackets
+// the operation; for transient trees w is ignored and may be nil.
+func (t *Tree) Insert(w *epoch.Worker, k, v uint64) bool {
+	t.checkKey(k)
+	if t.sys == nil {
+		return t.insertTransient(k, v)
+	}
+	return t.insertPersistent(w, k, v)
+}
+
+func (t *Tree) insertTransient(k, v uint64) bool {
+	retries := 0
+	preWalked := false
+	for {
+		var replaced bool
+		var opts []htm.AttemptOption
+		if preWalked {
+			opts = append(opts, htm.PreWalked())
+		}
+		res := t.tm.Attempt(func(tx *htm.Tx) {
+			tx.Subscribe(t.lock)
+			m := txMem{tx}
+			slot, inserted := t.insertRec(m, t.rootNode(), k, v)
+			if !inserted {
+				m.store(slot, v)
+				replaced = true
+			}
+		}, opts...)
+		switch {
+		case res.Committed:
+			if !replaced {
+				t.count.Add(1)
+			}
+			return replaced
+		case res.Cause == htm.CauseLocked:
+			t.lock.WaitUnlocked()
+		case res.Cause == htm.CauseMemType:
+			t.preWalk(k)
+			preWalked = true
+		default:
+			retries++
+			if retries >= maxRetries {
+				t.lock.Acquire()
+				m := directMem{t.tm}
+				slot, inserted := t.insertRec(m, t.rootNode(), k, v)
+				if !inserted {
+					m.store(slot, v)
+					replaced = true
+				}
+				t.lock.Release()
+				if !replaced {
+					t.count.Add(1)
+				}
+				return replaced
+			}
+		}
+	}
+}
+
+func (t *Tree) insertPersistent(w *epoch.Worker, k, v uint64) bool {
+	ws := &t.perW[w.ID()]
+retryRegist:
+	opEpoch := w.BeginOp()
+	if ws.prealloc.IsNil() {
+		ws.prealloc = w.NewKV(BlockTag)
+	}
+	newBlk := ws.prealloc
+	newBlk.InitKV(k, v)
+
+	var retire, persist epoch.Block
+	var usedPrealloc, replaced bool
+	retries := 0
+	preWalked := false
+retryTxn:
+	retire, persist = epoch.Block{}, epoch.Block{}
+	usedPrealloc, replaced = false, false
+	var opts []htm.AttemptOption
+	if preWalked {
+		opts = append(opts, htm.PreWalked())
+	}
+	res := w.Attempt(t.tm, func(tx *htm.Tx) {
+		tx.Subscribe(t.lock)
+		m := txMem{tx}
+		newBlk.SetEpochTx(tx, opEpoch)
+		slot, inserted := t.insertRec(m, t.rootNode(), k, uint64(newBlk.Addr()))
+		if inserted {
+			persist, usedPrealloc = newBlk, true
+			return
+		}
+		// Existing key: epoch-compare its block (Listing 1).
+		blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
+		be := blk.EpochTx(tx)
+		switch {
+		case be > opEpoch:
+			tx.Abort(epoch.OldSeeNewCode)
+		case be < opEpoch:
+			m.store(slot, uint64(newBlk.Addr()))
+			retire, persist, usedPrealloc = blk, newBlk, true
+		default:
+			blk.SetValueTx(tx, v)
+		}
+		replaced = true
+	}, opts...)
+	switch {
+	case res.Committed:
+	case res.Cause == htm.CauseExplicit && res.Code == epoch.OldSeeNewCode:
+		w.AbortOp()
+		goto retryRegist
+	case res.Cause == htm.CauseLocked:
+		t.lock.WaitUnlocked()
+		goto retryTxn
+	case res.Cause == htm.CauseMemType:
+		t.preWalk(k)
+		preWalked = true
+		retries++
+		goto retryTxn
+	default:
+		retries++
+		if retries < maxRetries {
+			goto retryTxn
+		}
+		if !t.insertFallback(w, opEpoch, k, v, newBlk, &retire, &persist, &usedPrealloc, &replaced) {
+			w.AbortOp()
+			goto retryRegist
+		}
+	}
+	if !usedPrealloc {
+		newBlk.ResetEpoch() // the Sec. 5 phantom-prealloc pitfall
+	} else {
+		ws.prealloc = epoch.Block{}
+	}
+	if !retire.IsNil() {
+		w.PRetire(retire)
+	}
+	if !persist.IsNil() {
+		w.PTrack(persist)
+	}
+	if !replaced {
+		t.count.Add(1)
+	}
+	w.EndOp()
+	return replaced
+}
+
+// insertFallback performs the insert under the global lock; it returns
+// false if the operation must restart in a newer epoch.
+func (t *Tree) insertFallback(w *epoch.Worker, opEpoch, k, v uint64, newBlk epoch.Block,
+	retire, persist *epoch.Block, usedPrealloc, replaced *bool) bool {
+	t.lock.Acquire()
+	defer t.lock.Release()
+	*retire, *persist = epoch.Block{}, epoch.Block{}
+	*usedPrealloc, *replaced = false, false
+	m := directMem{t.tm}
+	if slot := t.findSlot(m, t.rootNode(), k); slot != nil {
+		blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
+		be := blk.Epoch()
+		switch {
+		case be > opEpoch:
+			return false
+		case be < opEpoch:
+			t.stampEpochDirect(newBlk, opEpoch)
+			m.store(slot, uint64(newBlk.Addr()))
+			*retire, *persist, *usedPrealloc = blk, newBlk, true
+		default:
+			m.storeHeap(t.sys.Heap(), blk.Payload(1), v)
+		}
+		*replaced = true
+		return true
+	}
+	t.stampEpochDirect(newBlk, opEpoch)
+	if _, inserted := t.insertRec(m, t.rootNode(), k, uint64(newBlk.Addr())); !inserted {
+		panic("veb: key appeared during fallback insert despite the lock")
+	}
+	*persist, *usedPrealloc = newBlk, true
+	return true
+}
+
+func (t *Tree) stampEpochDirect(b epoch.Block, e uint64) {
+	h := t.sys.Heap()
+	hdr := h.Load(b.Addr())
+	hdr = hdr&^((uint64(1)<<48)-1) | e
+	t.tm.DirectStoreAddr(h, b.Addr(), hdr)
+}
+
+// Remove deletes k, reporting whether it was present.
+func (t *Tree) Remove(w *epoch.Worker, k uint64) bool {
+	t.checkKey(k)
+	if t.sys == nil {
+		return t.removeTransient(k)
+	}
+	return t.removePersistent(w, k)
+}
+
+func (t *Tree) removeTransient(k uint64) bool {
+	retries := 0
+	for {
+		var removed bool
+		res := t.tm.Attempt(func(tx *htm.Tx) {
+			tx.Subscribe(t.lock)
+			m := txMem{tx}
+			_, removed = t.removeRec(m, t.rootNode(), k)
+		})
+		switch {
+		case res.Committed:
+			if removed {
+				t.count.Add(-1)
+			}
+			return removed
+		case res.Cause == htm.CauseLocked:
+			t.lock.WaitUnlocked()
+		default:
+			retries++
+			if retries >= maxRetries {
+				t.lock.Acquire()
+				m := directMem{t.tm}
+				_, removed = t.removeRec(m, t.rootNode(), k)
+				t.lock.Release()
+				if removed {
+					t.count.Add(-1)
+				}
+				return removed
+			}
+		}
+	}
+}
+
+func (t *Tree) removePersistent(w *epoch.Worker, k uint64) bool {
+retryRegist:
+	opEpoch := w.BeginOp()
+	var retire epoch.Block
+	retries := 0
+retryTxn:
+	retire = epoch.Block{}
+	res := w.Attempt(t.tm, func(tx *htm.Tx) {
+		tx.Subscribe(t.lock)
+		m := txMem{tx}
+		val, ok := t.removeRec(m, t.rootNode(), k)
+		if !ok {
+			return
+		}
+		// Epoch check after the (speculative) mutation: an abort rolls
+		// the whole transaction back.
+		blk := t.sys.BlockAt(nvm.Addr(val))
+		if blk.EpochTx(tx) > opEpoch {
+			tx.Abort(epoch.OldSeeNewCode)
+		}
+		retire = blk
+	})
+	switch {
+	case res.Committed:
+	case res.Cause == htm.CauseExplicit && res.Code == epoch.OldSeeNewCode:
+		w.AbortOp()
+		goto retryRegist
+	case res.Cause == htm.CauseLocked:
+		t.lock.WaitUnlocked()
+		goto retryTxn
+	default:
+		retries++
+		if retries < maxRetries {
+			goto retryTxn
+		}
+		if !t.removeFallback(w, opEpoch, k, &retire) {
+			w.AbortOp()
+			goto retryRegist
+		}
+	}
+	removed := !retire.IsNil()
+	if removed {
+		w.PRetire(retire)
+		t.count.Add(-1)
+	}
+	w.EndOp()
+	return removed
+}
+
+func (t *Tree) removeFallback(w *epoch.Worker, opEpoch, k uint64, retire *epoch.Block) bool {
+	t.lock.Acquire()
+	defer t.lock.Release()
+	*retire = epoch.Block{}
+	m := directMem{t.tm}
+	slot := t.findSlot(m, t.rootNode(), k)
+	if slot == nil {
+		return true // absent: nothing to do
+	}
+	blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
+	if blk.Epoch() > opEpoch {
+		return false
+	}
+	if _, ok := t.removeRec(m, t.rootNode(), k); !ok {
+		panic("veb: key vanished during fallback remove despite the lock")
+	}
+	*retire = blk
+	return true
+}
+
+// RebuildBlock reinserts one recovered KV block into a fresh persistent
+// tree. Recovery is single-threaded.
+func (t *Tree) RebuildBlock(rec epoch.BlockRecord) {
+	if t.sys == nil {
+		panic("veb: RebuildBlock on a transient tree")
+	}
+	k := rec.Block.Key()
+	t.checkKey(k)
+	m := directMem{t.tm}
+	slot, inserted := t.insertRec(m, t.rootNode(), k, uint64(rec.Block.Addr()))
+	if !inserted {
+		_ = slot
+		panic(fmt.Sprintf("veb: duplicate key %d during recovery (BDL invariant violated)", k))
+	}
+	t.count.Add(1)
+}
