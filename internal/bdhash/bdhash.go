@@ -54,6 +54,10 @@ type Table struct {
 
 	count atomic.Int64
 
+	// removals guards the empty-slot insert path against acting on an
+	// absence created by a newer-epoch removal (see epoch.RemovalStamps).
+	removals epoch.RemovalStamps
+
 	perW []wstate
 }
 
@@ -231,6 +235,9 @@ func (t *Table) insertBody(tx *htm.Tx, w *epoch.Worker, opEpoch, k, v uint64, ne
 		out.full = true
 		return
 	}
+	// Fresh insert: no block to epoch-compare, so the absence itself must
+	// be validated against newer removals.
+	t.removals.CheckTx(tx, k, opEpoch)
 	tx.Store(empty, uint64(newBlk.Addr()))
 	out.persist = newBlk
 	out.usedPrealloc = true
@@ -276,6 +283,9 @@ func (t *Table) insertFallback(w *epoch.Worker, opEpoch, k, v uint64, newBlk epo
 	if empty == nil {
 		out.full = true
 		return true
+	}
+	if !t.removals.Ok(t.tm, k, opEpoch) {
+		return false // absence created by a newer-epoch removal
 	}
 	t.setEpochDirect(newBlk, opEpoch)
 	t.tm.DirectStore(empty, uint64(newBlk.Addr()))
@@ -364,11 +374,14 @@ retryTxn:
 			if b.EpochTx(tx) > opEpoch {
 				tx.Abort(epoch.OldSeeNewCode)
 			}
+			t.removals.RaiseTx(tx, k, opEpoch)
 			tx.Store(sp, 0)
 			retire = b
 			removed = true
 			return
 		}
+		// Absent: make sure the absence is not a newer removal's work.
+		t.removals.CheckTx(tx, k, opEpoch)
 	})
 	switch {
 	case res.Committed:
@@ -414,12 +427,14 @@ func (t *Table) removeFallback(w *epoch.Worker, opEpoch, k uint64, retire *epoch
 		if b.Epoch() > opEpoch {
 			return false
 		}
+		t.removals.Raise(t.tm, k, opEpoch)
 		t.tm.DirectStore(sp, 0)
 		*retire = b
 		*removed = true
 		return true
 	}
-	return true
+	// Absent: restart in a newer epoch if a newer removal made it so.
+	return t.removals.Ok(t.tm, k, opEpoch)
 }
 
 // RebuildBlock reinserts one recovered block into the DRAM index. Call it

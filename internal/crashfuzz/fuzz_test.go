@@ -1,0 +1,30 @@
+package crashfuzz
+
+import "testing"
+
+// Native Go fuzz targets: the input bytes decode to an op/advance/crash
+// script (see ReplayBytes) driven through the subject adapters with full
+// prefix checking after every crash. Run with e.g.
+//
+//	go test ./internal/crashfuzz -fuzz FuzzBDHash -fuzztime 30s
+//
+// A crasher minimized by the fuzzer lands in testdata/fuzz/ and replays
+// as an ordinary test case from then on.
+
+func fuzzSubject(f *testing.F, subject string) {
+	// Seed corpus: checked-in files in testdata/fuzz/<Target>/ plus a
+	// few inline shapes — inserts, removes, advances and crashes at
+	// varying eviction fractions.
+	f.Add([]byte("\x01\x02\x03\x04\x05\x06\x07\x08" + "\x01\x02\x03\x80\xa0\x42\x81\xbf"))
+	f.Add([]byte("\x99\x88\x77\x66\x55\x44\x33\x22" + "\x01\x01\x80\x80\xa5\x02\xc1"))
+	f.Add([]byte("\xff\xee\xdd\xcc\xbb\xaa\x00\x11" + "\x1f\x1e\x1d\x80\xbf\x41\x42\x80\xa0"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if fail := ReplayBytes(subject, data); fail != nil {
+			t.Fatalf("%s", fail.Msg)
+		}
+	})
+}
+
+func FuzzBDHash(f *testing.F) { fuzzSubject(f, "bdhash") }
+
+func FuzzVEB(f *testing.F) { fuzzSubject(f, "veb") }

@@ -72,6 +72,12 @@ type Config struct {
 	// Manual disables the background advancer; epochs then advance only
 	// via Sync/AdvanceOnce. Used by tests and deterministic examples.
 	Manual bool
+	// OnAdvance, when non-nil, is called synchronously at the end of every
+	// AdvanceOnce with the epoch that has just become durable. It runs
+	// under the advancer's serialization lock, after the new active epoch
+	// is published. Crash-consistency harnesses use it to snapshot model
+	// state at epoch boundaries; it must not call back into the system.
+	OnAdvance func(persisted uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -271,6 +277,10 @@ func (s *System) AdvanceOnce() {
 	// (6) Open epoch e+1.
 	s.global.Store(e + 1)
 	s.advances.Add(1)
+
+	if s.cfg.OnAdvance != nil {
+		s.cfg.OnAdvance(closing)
+	}
 }
 
 // waitQuiesce spins until no worker is announced in epoch target.

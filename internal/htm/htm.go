@@ -121,6 +121,10 @@ type Config struct {
 	// PreWalkResidualRate is the MemType rate that remains after a
 	// pre-walk (the paper's mitigation reduced aborts to ~5%).
 	PreWalkResidualRate float64
+	// Seed seeds the abort-injection RNG stream. 0 selects a fixed
+	// default, so injection is deterministic either way; fuzzers vary the
+	// seed per round to explore different abort interleavings.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -160,7 +164,11 @@ func New(cfg Config) *TM {
 		mask:  (1 << cfg.TableBits) - 1,
 		table: make([]atomic.Uint64, 1<<cfg.TableBits),
 	}
-	tm.rng.Store(0x853c49e6748fea9b)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x853c49e6748fea9b
+	}
+	tm.rng.Store(seed)
 	tm.pool.New = func() any {
 		return &Tx{
 			tm:       tm,

@@ -161,8 +161,62 @@ type Heap struct {
 	evictMu  sync.Mutex
 	evictRNG *rand.Rand
 
+	persistHook atomic.Pointer[func(PersistPoint, Addr)]
+
 	stats   Stats
 	crashes atomic.Int64
+}
+
+// PersistPoint identifies one durability-relevant heap event observed by a
+// persist hook: the instants at which a crash would leave distinct media
+// states. Crash-consistency fuzzers (internal/crashfuzz) and
+// crash-at-every-step tests use these as injection points.
+type PersistPoint uint8
+
+const (
+	// PointFlush fires immediately before an explicit line flush (clwb)
+	// takes effect. A crash here loses the line being flushed.
+	PointFlush PersistPoint = iota
+	// PointFence fires immediately before a fence is accounted.
+	PointFence
+	// PointWriteBack fires immediately before a capacity eviction writes
+	// a dirty line back to the media (the unpredictable write-back that
+	// makes persistent programming hard).
+	PointWriteBack
+)
+
+func (p PersistPoint) String() string {
+	switch p {
+	case PointFlush:
+		return "flush"
+	case PointFence:
+		return "fence"
+	case PointWriteBack:
+		return "writeback"
+	default:
+		return fmt.Sprintf("PersistPoint(%d)", uint8(p))
+	}
+}
+
+// SetPersistHook installs fn, called synchronously on every durability
+// event (explicit flush, fence, eviction write-back) with the event kind
+// and the address of the first word involved. Passing nil removes the
+// hook. The hook may panic to simulate a power failure at that exact
+// instant; callers are expected to recover the panic, call Crash, and run
+// recovery. Install/remove only while no other goroutine uses the heap.
+func (h *Heap) SetPersistHook(fn func(PersistPoint, Addr)) {
+	if fn == nil {
+		h.persistHook.Store(nil)
+		return
+	}
+	h.persistHook.Store(&fn)
+}
+
+// firePersist invokes the persist hook, if any.
+func (h *Heap) firePersist(p PersistPoint, a Addr) {
+	if fn := h.persistHook.Load(); fn != nil {
+		(*fn)(p, a)
+	}
 }
 
 // New creates a heap of the configured size. The heap starts zeroed, with
@@ -248,6 +302,7 @@ func (h *Heap) evictSome() {
 		h.residentLines.Add(-1)
 		evicted++
 		if h.dirty.testAndClear(l) {
+			h.firePersist(PointWriteBack, Addr(l*LineWords))
 			h.writeBackLine(l, true)
 		}
 	}
@@ -344,6 +399,7 @@ func (h *Heap) Flush(a Addr) {
 		// the persistence domain, so flushes are unnecessary and free.
 		return
 	}
+	h.firePersist(PointFlush, a)
 	h.stats.flushes.Add(1)
 	if !h.cfg.Latency.Zero() {
 		spin(h.cfg.Latency.FlushNS)
@@ -374,6 +430,7 @@ func (h *Heap) FlushRange(a Addr, words int) {
 	last := (a + Addr(words) - 1).Line()
 	var wroteXP = make(map[uint64]struct{}, 4)
 	for l := first; l <= last; l++ {
+		h.firePersist(PointFlush, Addr(l*LineWords))
 		h.stats.flushes.Add(1)
 		if !h.cfg.Latency.Zero() {
 			spin(h.cfg.Latency.FlushNS)
@@ -407,6 +464,7 @@ func (h *Heap) Fence() {
 	if h.cfg.Mode != ModeADR {
 		return
 	}
+	h.firePersist(PointFence, 0)
 	h.stats.fences.Add(1)
 	if !h.cfg.Latency.Zero() {
 		spin(h.cfg.Latency.FenceNS)
@@ -473,6 +531,9 @@ func (h *Heap) Crash(opts CrashOptions) {
 	h.cached.clear()
 	h.dirty.clear()
 	h.residentLines.Store(0)
+	// The failure the hook was waiting for has happened; recovery-time
+	// flushes must not re-trigger it.
+	h.persistHook.Store(nil)
 }
 
 // PersistedLoad reads the word at a from the persistent image, bypassing

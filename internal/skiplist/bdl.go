@@ -33,6 +33,11 @@ retryRegist:
 			var usedPrealloc bool
 			res := l.htmApply(nil,
 				func(tx *htm.Tx) {
+					// A failed attempt may have run this closure to
+					// completion (conflicts surface at commit); reset the
+					// captured outputs so a retry that takes a different
+					// branch cannot inherit a stale retire/persist pair.
+					retire, persist, usedPrealloc = epoch.Block{}, epoch.Block{}, false
 					if tx.LoadAddr(l.h, l.nextAddr(found, 0))&delMark != 0 {
 						tx.Abort(retryCode) // node was removed; re-find
 					}
@@ -50,6 +55,7 @@ retryRegist:
 					}
 				},
 				func() applyResult {
+					retire, persist, usedPrealloc = epoch.Block{}, epoch.Block{}, false
 					if l.h.Load(l.nextAddr(found, 0))&delMark != 0 {
 						return applyRetry
 					}
@@ -88,8 +94,19 @@ retryRegist:
 			entries[i] = mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: succs[i], New: uint64(node)}
 		}
 		res := l.htmApply(entries,
-			func(tx *htm.Tx) { newBlk.SetEpochTx(tx, opEpoch) },
-			func() applyResult { l.setBlockEpochDirect(newBlk, opEpoch); return applyOK },
+			func(tx *htm.Tx) {
+				// The absence this insert acts on may have been created by a
+				// removal from a newer epoch (no block left to epoch-check).
+				l.removals.CheckTx(tx, k, opEpoch)
+				newBlk.SetEpochTx(tx, opEpoch)
+			},
+			func() applyResult {
+				if !l.removals.Ok(l.cfg.TM, k, opEpoch) {
+					return applyOldSeeNew
+				}
+				l.setBlockEpochDirect(newBlk, opEpoch)
+				return applyOK
+			},
 		)
 		if res == applyOK {
 			l.count.Add(1)
@@ -97,6 +114,10 @@ retryRegist:
 			return false
 		}
 		l.al.Free(node) // never became visible
+		if res == applyOldSeeNew {
+			h.w.AbortOp()
+			goto retryRegist
+		}
 	}
 }
 
@@ -108,6 +129,10 @@ retryRegist:
 	for {
 		preds, _, found := l.find(k)
 		if found == 0 {
+			if !l.removals.Ok(l.cfg.TM, k, opEpoch) {
+				h.w.AbortOp()
+				goto retryRegist
+			}
 			h.w.EndOp()
 			return false
 		}
@@ -126,6 +151,10 @@ retryRegist:
 		}
 		if raceLost {
 			if _, _, f := l.find(k); f == 0 {
+				if !l.removals.Ok(l.cfg.TM, k, opEpoch) {
+					h.w.AbortOp()
+					goto retryRegist
+				}
 				h.w.EndOp()
 				return false
 			}
@@ -138,6 +167,7 @@ retryRegist:
 				if blk.EpochTx(tx) > opEpoch {
 					tx.Abort(epoch.OldSeeNewCode)
 				}
+				l.removals.RaiseTx(tx, k, opEpoch)
 				retire = blk
 			},
 			func() applyResult {
@@ -145,6 +175,7 @@ retryRegist:
 				if blk.Epoch() > opEpoch {
 					return applyOldSeeNew
 				}
+				l.removals.Raise(l.cfg.TM, k, opEpoch)
 				retire = blk
 				return applyOK
 			},

@@ -120,6 +120,10 @@ type List struct {
 	reap  *ebr
 	count atomic.Int64
 	tids  atomic.Int32
+
+	// removals guards BDL absence-dependent paths against acting on an
+	// absence created by a newer-epoch removal (see epoch.RemovalStamps).
+	removals epoch.RemovalStamps
 }
 
 // New creates a list. For BDL, cfg.IndexHeap must be a DRAM-mode heap and
@@ -222,6 +226,11 @@ func (l *List) NewHandle() *Handle {
 	}
 	return h
 }
+
+// Worker returns the handle's epoch worker (BDL lists; nil otherwise).
+// Crash-consistency harnesses use it to read the final epoch of the
+// handle's last completed operation (Worker().OpEpoch()).
+func (h *Handle) Worker() *epoch.Worker { return h.w }
 
 // Close releases the handle's epoch worker (BDL).
 func (h *Handle) Close() {

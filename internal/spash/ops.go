@@ -149,6 +149,11 @@ func (t *Table) insertBody(tx *htm.Tx, opEpoch, h, k, v uint64, newBlk nvm.Addr,
 	if empty == nil {
 		tx.Abort(splitCode)
 	}
+	if bd {
+		// Fresh insert: no block to epoch-compare, so the absence itself
+		// must be validated against newer removals.
+		t.removals.CheckTx(tx, k, opEpoch)
+	}
 	tx.Store(empty, pack(h, newBlk))
 	out.usedNew = true
 	out.touched = newBlk
@@ -218,6 +223,9 @@ func (t *Table) insertFallback(opEpoch, h, k, v uint64, newBlk nvm.Addr, bd bool
 		if empty == nil {
 			t.splitLocked(h)
 			continue
+		}
+		if bd && !t.removals.Ok(t.tm, k, opEpoch) {
+			return fbOldSeeNew // absence created by a newer-epoch removal
 		}
 		t.stampDirect(newBlk, opEpoch)
 		t.tm.DirectStore(empty, pack(h, newBlk))
@@ -300,9 +308,16 @@ retryTxn:
 			if bd && t.epochTx(tx, b) > opEpoch {
 				tx.Abort(epoch.OldSeeNewCode)
 			}
+			if bd {
+				t.removals.RaiseTx(tx, k, opEpoch)
+			}
 			tx.Store(sp, 0)
 			victim = b
 			return
+		}
+		if bd {
+			// Absent: make sure the absence is not a newer removal's work.
+			t.removals.CheckTx(tx, k, opEpoch)
 		}
 	})
 	switch {
@@ -359,9 +374,15 @@ func (t *Table) removeFallback(opEpoch, h, k uint64, bd bool, victim *nvm.Addr) 
 		if bd && t.epochDirect(b) > opEpoch {
 			return fbOldSeeNew
 		}
+		if bd {
+			t.removals.Raise(t.tm, k, opEpoch)
+		}
 		t.tm.DirectStore(sp, 0)
 		*victim = b
 		return fbOK
+	}
+	if bd && !t.removals.Ok(t.tm, k, opEpoch) {
+		return fbOldSeeNew // absence created by a newer-epoch removal
 	}
 	return fbOK
 }

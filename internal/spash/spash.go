@@ -141,6 +141,11 @@ type Table struct {
 		splits, doublings, coldFlushes, hotSkips atomic.Int64
 	}
 
+	// removals guards the empty-slot insert path against acting on an
+	// absence created by a newer-epoch removal (ModeBD only; see
+	// epoch.RemovalStamps).
+	removals epoch.RemovalStamps
+
 	perW []spashWState
 }
 

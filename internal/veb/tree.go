@@ -54,6 +54,10 @@ type Tree struct {
 	lock  *htm.FallbackLock
 	count atomic.Int64
 
+	// removals guards the fresh-insert path against acting on an absence
+	// created by a newer-epoch removal (see epoch.RemovalStamps).
+	removals epoch.RemovalStamps
+
 	perW []vebWState
 }
 
@@ -292,6 +296,9 @@ retryTxn:
 		newBlk.SetEpochTx(tx, opEpoch)
 		slot, inserted := t.insertRec(m, t.rootNode(), k, uint64(newBlk.Addr()))
 		if inserted {
+			// Fresh insert: there is no block to epoch-compare, so the
+			// absence itself must be validated against newer removals.
+			t.removals.CheckTx(tx, k, opEpoch)
 			persist, usedPrealloc = newBlk, true
 			return
 		}
@@ -375,6 +382,9 @@ func (t *Tree) insertFallback(w *epoch.Worker, opEpoch, k, v uint64, newBlk epoc
 		*replaced = true
 		return true
 	}
+	if !t.removals.Ok(t.tm, k, opEpoch) {
+		return false // absence created by a newer-epoch removal
+	}
 	t.stampEpochDirect(newBlk, opEpoch)
 	if _, inserted := t.insertRec(m, t.rootNode(), k, uint64(newBlk.Addr())); !inserted {
 		panic("veb: key appeared during fallback insert despite the lock")
@@ -444,6 +454,8 @@ retryTxn:
 		m := txMem{tx}
 		val, ok := t.removeRec(m, t.rootNode(), k)
 		if !ok {
+			// Absent: make sure the absence is not a newer removal's work.
+			t.removals.CheckTx(tx, k, opEpoch)
 			return
 		}
 		// Epoch check after the (speculative) mutation: an abort rolls
@@ -452,6 +464,7 @@ retryTxn:
 		if blk.EpochTx(tx) > opEpoch {
 			tx.Abort(epoch.OldSeeNewCode)
 		}
+		t.removals.RaiseTx(tx, k, opEpoch)
 		retire = blk
 	})
 	switch {
@@ -488,7 +501,8 @@ func (t *Tree) removeFallback(w *epoch.Worker, opEpoch, k uint64, retire *epoch.
 	m := directMem{t.tm}
 	slot := t.findSlot(m, t.rootNode(), k)
 	if slot == nil {
-		return true // absent: nothing to do
+		// Absent: restart in a newer epoch if a newer removal made it so.
+		return t.removals.Ok(t.tm, k, opEpoch)
 	}
 	blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
 	if blk.Epoch() > opEpoch {
@@ -497,6 +511,7 @@ func (t *Tree) removeFallback(w *epoch.Worker, opEpoch, k uint64, retire *epoch.
 	if _, ok := t.removeRec(m, t.rootNode(), k); !ok {
 		panic("veb: key vanished during fallback remove despite the lock")
 	}
+	t.removals.Raise(t.tm, k, opEpoch)
 	*retire = blk
 	return true
 }
@@ -512,8 +527,11 @@ func (t *Tree) RebuildBlock(rec epoch.BlockRecord) {
 	m := directMem{t.tm}
 	slot, inserted := t.insertRec(m, t.rootNode(), k, uint64(rec.Block.Addr()))
 	if !inserted {
-		_ = slot
-		panic(fmt.Sprintf("veb: duplicate key %d during recovery (BDL invariant violated)", k))
+		old := t.sys.BlockAt(nvm.Addr(m.load(slot)))
+		al := t.sys.Allocator()
+		panic(fmt.Sprintf("veb: duplicate key %d during recovery (BDL invariant violated): existing blk@%d epoch=%d del=%d vs new blk@%d epoch=%d del=%d resurrected=%v",
+			k, old.Addr(), old.Epoch(), al.DeleteEpoch(old.Addr()),
+			rec.Block.Addr(), rec.Block.Epoch(), al.DeleteEpoch(rec.Block.Addr()), rec.Resurrected))
 	}
 	t.count.Add(1)
 }
