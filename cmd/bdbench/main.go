@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -27,6 +28,7 @@ import (
 	"bdhtm/internal/htm"
 	"bdhtm/internal/mwcas"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/skiplist"
 	"bdhtm/internal/spash"
 	"bdhtm/internal/veb"
@@ -39,10 +41,28 @@ var (
 	threads  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	latency  = flag.Bool("latency", true, "enable the Optane latency model on NVM heaps")
 	full     = flag.Bool("full", false, "paper-scale parameters (2^22 keys, 1s points)")
+
+	obsFlag   = flag.Bool("obs", false, "record obs telemetry and print a summary at exit")
+	traceOut  = flag.String("trace", "", "write a Chrome trace_event file (implies -obs)")
+	jsonOut   = flag.String("json", "", "write machine-readable results (schema "+obs.SchemaVersion+") to FILE")
+	httpAddr  = flag.String("http", "", "serve /obs, expvar and pprof on this address (implies -obs)")
+	validateF = flag.String("validate", "", "validate FILE against the bench schema and exit")
 )
+
+// benchObs is the process-wide recorder wired into every subject when
+// -obs/-trace/-http is given; nil otherwise (zero-overhead path).
+var benchObs *obs.Recorder
 
 func main() {
 	flag.Parse()
+	if *validateF != "" {
+		if err := obs.ValidateReportFile(*validateF); err != nil {
+			fmt.Fprintf(os.Stderr, "bdbench: %s: %v\n", *validateF, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report\n", *validateF, obs.SchemaVersion)
+		return
+	}
 	if *full {
 		*keySpace = 1 << 22
 		*duration = time.Second
@@ -51,11 +71,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: bdbench [flags] fig1|fig2|fig3|table3|fig4|fig5|fig6|fig7|fig8|recovery|tail|all")
 		os.Exit(2)
 	}
+	if *obsFlag || *traceOut != "" || *httpAddr != "" {
+		benchObs = obs.New("bdbench")
+	}
+	if *traceOut != "" {
+		benchObs.StartTrace(1 << 16)
+	}
+	if *httpAddr != "" {
+		addr, err := obs.StartHTTP(*httpAddr, benchObs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdbench: -http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs endpoint: http://%s/obs (expvar at /debug/vars, pprof at /debug/pprof)\n", addr)
+	}
+	var collector *harness.Collector
+	if *jsonOut != "" {
+		collector = harness.NewCollector(obs.RunConfig{
+			KeySpace:   *keySpace,
+			DurationNS: duration.Nanoseconds(),
+			Threads:    threadList(),
+			Latency:    *latency,
+			Full:       *full,
+		})
+		harness.SetCollector(collector)
+	}
 	exp := flag.Arg(0)
 	all := exp == "all"
 	ran := false
 	run := func(name string, f func()) {
 		if all || exp == name {
+			harness.SetExperiment(name)
 			f()
 			ran = true
 		}
@@ -75,6 +121,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
 	}
+	if collector != nil {
+		harness.SetCollector(nil)
+		if err := collector.Report.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bdbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d result rows to %s (schema %s)\n",
+			collector.Report.Len(), *jsonOut, obs.SchemaVersion)
+	}
+	if *traceOut != "" {
+		writeTrace()
+	}
+	if *obsFlag {
+		printObsSummary()
+	}
+}
+
+func writeTrace() {
+	tr := benchObs.StopTrace()
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(*traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdbench: -trace: %v\n", err)
+		os.Exit(1)
+	}
+	err = obs.WriteChromeTrace(f, tr.Events())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdbench: -trace: %v\n", err)
+		os.Exit(1)
+	}
+	kept, dropped := tr.Counts()
+	fmt.Printf("wrote %d trace events to %s (%d dropped by ring)\n", kept, *traceOut, dropped)
+}
+
+func printObsSummary() {
+	snap := benchObs.Snapshot()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdbench: -obs: %v\n", err)
+		return
+	}
+	fmt.Printf("\nobs summary (%s)\n%s\n", snap.Name, data)
 }
 
 // tailLatency quantifies the Sec. 4.2 claim that BDL preserves the
@@ -109,7 +202,7 @@ func threadList() []int {
 }
 
 func opts() harness.Opts {
-	return harness.Opts{KeySpace: *keySpace, Latency: *latency}
+	return harness.Opts{KeySpace: *keySpace, Latency: *latency, Obs: benchObs}
 }
 
 func sweep(build func() *harness.Instance, wl harness.Workload) harness.Series {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 )
 
 // DefaultHeapWords sizes fuzzing heaps: small enough that rounds are fast,
@@ -303,16 +304,23 @@ type session struct {
 	pending  *pendingOp
 	opSeq    uint64
 	crashes  int
+	obs      *obs.Recorder
 }
 
 func newSession(p RoundParams, sub Subject) *session {
 	s := &session{p: p, sub: sub, buffered: sub.Durability() == Buffered}
+	// Every round runs with telemetry and a live tracer attached, so the
+	// fuzzer also exercises the obs hooks across crash and recovery (the
+	// crash counter is cross-checked in crashCheck).
+	s.obs = obs.New("crashfuzz")
+	s.obs.StartTrace(1 << 10)
 	sub.Init(Env{
 		Seed:         p.Seed,
 		HeapWords:    DefaultHeapWords,
 		Workers:      1,
 		SpuriousRate: p.Spurious,
 		MemTypeRate:  p.MemType,
+		Obs:          s.obs,
 	})
 	s.h = sub.Handle(0)
 	s.model = map[uint64]uint64{}
@@ -434,6 +442,11 @@ func (s *session) crashCheck(midOp bool) error {
 
 	if lb := s.sub.LiveBlocks(); lb >= 0 && lb != int64(len(dump)) {
 		return fmt.Errorf("allocator has %d live blocks for %d keys (leak or phantom block)", lb, len(dump))
+	}
+	// The telemetry layer must survive the crash/recover cycle without
+	// deadlocking or double-counting: exactly one crash event per Crash().
+	if got := s.obs.Metric(obs.MCrashes); got != int64(s.crashes) {
+		return fmt.Errorf("obs crash counter %d != %d crashes performed", got, s.crashes)
 	}
 	if ic, ok := s.sub.(InvariantChecker); ok {
 		if err := ic.CheckInvariants(dump); err != nil {
@@ -566,12 +579,15 @@ func runSingle(p RoundParams, sub Subject) *Failure {
 // checker.go).
 func runConcurrent(p RoundParams, sub Subject) *Failure {
 	buffered := sub.Durability() == Buffered
+	rec := obs.New("crashfuzz")
+	rec.StartTrace(1 << 10)
 	sub.Init(Env{
 		Seed:         p.Seed,
 		HeapWords:    DefaultHeapWords,
 		Workers:      p.Workers,
 		SpuriousRate: p.Spurious,
 		MemTypeRate:  p.MemType,
+		Obs:          rec,
 	})
 	fail := func(err error) *Failure { return &Failure{Params: p, Msg: subjectMsg(sub.Name(), err)} }
 

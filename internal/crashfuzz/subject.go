@@ -8,6 +8,7 @@ import (
 
 	"bdhtm/internal/htm"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 )
 
 // Durability classifies what a subject promises across a crash.
@@ -48,22 +49,31 @@ type Env struct {
 	// OnAdvance is forwarded to epoch.Config.OnAdvance for buffered
 	// subjects; the engine snapshots its model there.
 	OnAdvance func(persisted uint64)
+	// Obs, when non-nil, is attached to every component the subject
+	// builds (TM, heaps, epoch system). The engine installs one per round
+	// with an active tracer, so every fuzzed schedule also exercises the
+	// telemetry hooks across crash and recovery.
+	Obs *obs.Recorder
 }
 
 // TM builds the round's transactional memory from the env's injection
 // settings, seeded for replayable abort streams.
 func (e Env) TM() *htm.TM {
-	return htm.New(htm.Config{
+	tm := htm.New(htm.Config{
 		Seed:                e.Seed ^ 0x7fb5d329728ea185,
 		SpuriousRate:        e.SpuriousRate,
 		MemTypeRate:         e.MemTypeRate,
 		PreWalkResidualRate: e.MemTypeRate / 10,
 	})
+	tm.SetObs(e.Obs)
+	return tm
 }
 
 // NVMHeap builds the round's persistent heap.
 func (e Env) NVMHeap() *nvm.Heap {
-	return nvm.New(nvm.Config{Words: e.HeapWords, Seed: e.Seed ^ 0x9e3779b97f4a7c15, CacheLines: e.CacheLines})
+	h := nvm.New(nvm.Config{Words: e.HeapWords, Seed: e.Seed ^ 0x9e3779b97f4a7c15, CacheLines: e.CacheLines})
+	h.SetObs(e.Obs)
+	return h
 }
 
 // DRAMHeap builds a transient heap (BDL index side).

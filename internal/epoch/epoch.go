@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/palloc"
 )
 
@@ -78,6 +79,12 @@ type Config struct {
 	// is published. Crash-consistency harnesses use it to snapshot model
 	// state at epoch boundaries; it must not call back into the system.
 	OnAdvance func(persisted uint64)
+	// Obs, when non-nil, receives the epoch-advance phase timeline
+	// (quiesce/flush/root/reclaim durations), advance events, and the
+	// allocator's alloc/free events. It does not reach the heap: attach a
+	// recorder there separately (nvm.Heap.SetObs) if persist events are
+	// wanted too.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +149,7 @@ func New(h *nvm.Heap, cfg Config) *System {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	s.alloc.SetObs(cfg.Obs)
 	s.global.Store(firstEpoch)
 	s.persisted.Store(firstEpoch - 2)
 	h.Store(rootMagicAddr, rootMagic)
@@ -227,10 +235,19 @@ func (s *System) AdvanceOnce() {
 	e := s.global.Load()
 	closing := e - 1
 
+	// Phase timeline: each phase's duration lands in its own histogram,
+	// attributing advance stalls to drain vs. write-back vs. root vs.
+	// reclaim (the decomposition behind the paper's epoch-length study).
+	o := s.cfg.Obs
+	t := o.Now()
+
 	// (2) Wait for in-flight operations in epoch e-1 to complete. New
 	// operations only ever start in the active epoch, so no new work can
 	// appear in e-1.
 	s.waitQuiesce(closing)
+	if o != nil {
+		t = o.Phase(obs.PhaseQuiesce, closing, t)
+	}
 
 	// (3) Persist everything tracked in e-1.
 	n := int(s.nWorkers.Load())
@@ -259,11 +276,17 @@ func (s *System) AdvanceOnce() {
 	if !s.eadr() {
 		s.heap.Fence()
 	}
+	if o != nil {
+		t = o.Phase(obs.PhaseFlush, closing, t)
+	}
 
 	// (4) Durably record that e-1 has persisted.
 	s.heap.Store(rootPersistedAddr, closing)
 	s.heap.Persist(rootPersistedAddr)
 	s.persisted.Store(closing)
+	if o != nil {
+		t = o.Phase(obs.PhaseRoot, closing, t)
+	}
 
 	// (5) Blocks retired in e-1 are now reclaimable: their DELETED
 	// markers and the root above are durable, so no recovery can
@@ -273,10 +296,16 @@ func (s *System) AdvanceOnce() {
 		s.freedBlocks.Add(1)
 	}
 	s.pendingFree = s.pendingFree[:0]
+	if o != nil {
+		o.Phase(obs.PhaseReclaim, closing, t)
+	}
 
 	// (6) Open epoch e+1.
 	s.global.Store(e + 1)
 	s.advances.Add(1)
+	if o != nil {
+		o.Hit(obs.MAdvances, obs.EvAdvance, closing, e+1)
+	}
 
 	if s.cfg.OnAdvance != nil {
 		s.cfg.OnAdvance(closing)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/palloc"
 )
 
@@ -57,6 +58,7 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	s.alloc.SetObs(cfg.Obs)
 	s.global.Store(p + 2)
 	s.persisted.Store(p)
 
@@ -111,6 +113,9 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 	// Re-persist the root under the new numbering and resume.
 	h.Store(rootPersistedAddr, p)
 	h.Persist(rootPersistedAddr)
+	if cfg.Obs != nil {
+		cfg.Obs.Hit(obs.MRecoveries, obs.EvRecover, p, uint64(s.recoveredLive.Load()))
+	}
 	s.startAdvancer()
 	return s
 }

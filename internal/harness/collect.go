@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"sync"
+
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
+)
+
+// Collector accumulates machine-readable benchmark rows (obs.BenchRow)
+// while experiments run. When a collector is installed (SetCollector),
+// Run and RunLatency append one row per measurement, tagged with the
+// current experiment label, and bdbench writes the finished report as
+// BENCH_*.json.
+type Collector struct {
+	Report *obs.Report
+
+	mu         sync.Mutex
+	experiment string
+}
+
+// NewCollector creates a collector around an empty report.
+func NewCollector(cfg obs.RunConfig) *Collector {
+	return &Collector{Report: obs.NewReport(cfg)}
+}
+
+// SetExperiment labels subsequent rows (e.g. "fig1", "tail").
+func (c *Collector) SetExperiment(name string) {
+	c.mu.Lock()
+	c.experiment = name
+	c.mu.Unlock()
+}
+
+func (c *Collector) experimentName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.experiment
+}
+
+var (
+	collectorMu     sync.Mutex
+	activeCollector *Collector
+)
+
+// SetCollector installs (or, with nil, removes) the process-wide
+// collector consulted by Run and RunLatency.
+func SetCollector(c *Collector) {
+	collectorMu.Lock()
+	activeCollector = c
+	collectorMu.Unlock()
+}
+
+// SetExperiment labels subsequent rows on the installed collector, if
+// any. The run() helper in cmd/bdbench calls it per experiment.
+func SetExperiment(name string) {
+	if c := currentCollector(); c != nil {
+		c.SetExperiment(name)
+	}
+}
+
+func currentCollector() *Collector {
+	collectorMu.Lock()
+	defer collectorMu.Unlock()
+	return activeCollector
+}
+
+// Sub returns the interval difference s - prev.
+func (s TMStatsSnapshot) Sub(prev TMStatsSnapshot) TMStatsSnapshot {
+	return TMStatsSnapshot{
+		Commits: s.Commits - prev.Commits, Conflict: s.Conflict - prev.Conflict,
+		Capacity: s.Capacity - prev.Capacity, Explicit: s.Explicit - prev.Explicit,
+		Locked: s.Locked - prev.Locked, Spurious: s.Spurious - prev.Spurious,
+		MemType: s.MemType - prev.MemType, PersistOp: s.PersistOp - prev.PersistOp,
+	}
+}
+
+// statsBaseline captures an instance's absolute counters so a row can
+// report the measured interval only (prefill traffic excluded).
+type statsBaseline struct {
+	tm    TMStatsSnapshot
+	nvm   nvm.StatsSnapshot
+	epoch epoch.Stats
+}
+
+func captureBaseline(inst *Instance) statsBaseline {
+	var b statsBaseline
+	if inst.TMStats != nil {
+		b.tm = inst.TMStats()
+	}
+	if inst.NVMStats != nil {
+		b.nvm = inst.NVMStats()
+	}
+	if inst.EpochStats != nil {
+		b.epoch = inst.EpochStats()
+	}
+	return b
+}
+
+// buildRow assembles one BenchRow from a finished measurement.
+func buildRow(c *Collector, inst *Instance, wl Workload, res Result, base statsBaseline, lat *obs.LatencySummary) obs.BenchRow {
+	row := obs.BenchRow{
+		Experiment: c.experimentName(),
+		Structure:  inst.Name,
+		Threads:    res.Threads,
+		Dist:       wl.Dist.String(),
+		ReadPct:    wl.Mix.ReadPct,
+		Ops:        res.Ops,
+		ElapsedNS:  res.Elapsed.Nanoseconds(),
+		Mops:       res.Throughput,
+		Latency:    lat,
+	}
+	if inst.TMStats != nil {
+		d := inst.TMStats().Sub(base.tm)
+		sum := &obs.HTMSummary{
+			Attempts: d.Attempts(),
+			Commits:  d.Commits,
+			Aborts: map[string]int64{
+				"conflict": d.Conflict, "capacity": d.Capacity,
+				"explicit": d.Explicit, "locked": d.Locked,
+				"spurious": d.Spurious, "memtype": d.MemType,
+				"persist-op": d.PersistOp,
+			},
+		}
+		if sum.Attempts > 0 {
+			sum.CommitRate = float64(sum.Commits) / float64(sum.Attempts)
+		} else {
+			sum.CommitRate = 1 // idle TM: nothing failed
+		}
+		row.HTM = sum
+	}
+	if inst.NVMStats != nil {
+		d := inst.NVMStats().Sub(base.nvm)
+		row.NVM = &obs.NVMSummary{
+			Flushes:            d.Flushes,
+			Fences:             d.Fences,
+			LineWritebacks:     d.LineWritebacks,
+			MediaWrites:        d.MediaWrites,
+			MediaBytes:         d.MediaBytes,
+			UsefulBytes:        d.UsefulBytes,
+			WriteAmplification: d.WriteAmplification(),
+		}
+	}
+	if inst.EpochStats != nil {
+		e := inst.EpochStats()
+		row.Epoch = &obs.EpochSummary{
+			Advances:      e.Advances - base.epoch.Advances,
+			FlushedBlocks: e.FlushedBlocks - base.epoch.FlushedBlocks,
+			RetiredBlocks: e.RetiredBlocks - base.epoch.RetiredBlocks,
+			FreedBlocks:   e.FreedBlocks - base.epoch.FreedBlocks,
+		}
+	}
+	return row
+}

@@ -15,6 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/ycsb"
 )
 
@@ -34,10 +37,12 @@ type Instance struct {
 	Close func()
 
 	// Optional hooks (nil/zero when not applicable).
-	TMStats   func() TMStatsSnapshot // HTM commit/abort counters (Fig. 2)
-	DRAMBytes func() int64           // index memory (Table 3)
-	NVMBytes  func() int64           // NVM footprint (Table 3, Fig. 8)
-	Sync      func()                 // force buffered data durable
+	TMStats    func() TMStatsSnapshot   // HTM commit/abort counters (Fig. 2)
+	NVMStats   func() nvm.StatsSnapshot // persist-cost counters (Sec. 5.1)
+	EpochStats func() epoch.Stats       // epoch-system activity
+	DRAMBytes  func() int64             // index memory (Table 3)
+	NVMBytes   func() int64             // NVM footprint (Table 3, Fig. 8)
+	Sync       func()                   // force buffered data durable
 }
 
 // TMStatsSnapshot mirrors htm.StatsSnapshot without importing it here
@@ -101,6 +106,16 @@ func Run(inst *Instance, wl Workload, threads int, dur time.Duration, seed uint6
 	if wl.Prefill {
 		Prefill(inst, wl.KeySpace)
 	}
+	// When a collector is installed, time every op into a sharded
+	// histogram and capture counter baselines after the prefill so the
+	// reported row covers the measured interval only.
+	c := currentCollector()
+	var base statsBaseline
+	var opHist *obs.Hist
+	if c != nil {
+		base = captureBaseline(inst)
+		opHist = &obs.Hist{}
+	}
 	var stop atomic.Bool
 	var totalOps atomic.Int64
 	var wg sync.WaitGroup
@@ -115,6 +130,10 @@ func Run(inst *Instance, wl Workload, threads int, dur time.Duration, seed uint6
 			for !stop.Load() {
 				for i := 0; i < 64; i++ {
 					op, k, v := g.Next()
+					var t0 time.Time
+					if opHist != nil {
+						t0 = time.Now()
+					}
 					switch op {
 					case ycsb.OpRead:
 						h.Get(k)
@@ -122,6 +141,9 @@ func Run(inst *Instance, wl Workload, threads int, dur time.Duration, seed uint6
 						h.Insert(k, v)
 					case ycsb.OpRemove:
 						h.Remove(k)
+					}
+					if opHist != nil {
+						opHist.Record(uint64(tid), int64(time.Since(t0)))
 					}
 				}
 				ops += 64
@@ -135,12 +157,21 @@ func Run(inst *Instance, wl Workload, threads int, dur time.Duration, seed uint6
 	wg.Wait()
 	elapsed := time.Since(start)
 	ops := totalOps.Load()
-	return Result{
+	res := Result{
 		Threads:    threads,
 		Ops:        ops,
 		Elapsed:    elapsed,
 		Throughput: float64(ops) / elapsed.Seconds() / 1e6,
 	}
+	if c != nil {
+		var lat *obs.LatencySummary
+		if h := opHist.Snapshot(); h.Count > 0 {
+			lat = &obs.LatencySummary{}
+			lat.FromHist(h)
+		}
+		c.Report.Append(buildRow(c, inst, wl, res, base, lat))
+	}
+	return res
 }
 
 // RunOps measures a fixed operation count per thread (deterministic work,

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"bdhtm/internal/obs"
 	"bdhtm/internal/ycsb"
 )
 
@@ -55,9 +56,15 @@ func RunLatency(inst *Instance, wl Workload, ops int, bgThreads int, seed uint64
 			}
 		}(t)
 	}
+	c := currentCollector()
+	var base statsBaseline
+	if c != nil {
+		base = captureBaseline(inst)
+	}
 	h := inst.NewHandle()
 	g := wl.generator(seed)
 	lat := make([]time.Duration, ops)
+	fgStart := time.Now()
 	for i := 0; i < ops; i++ {
 		op, k, v := g.Next()
 		start := time.Now()
@@ -71,6 +78,7 @@ func RunLatency(inst *Instance, wl Workload, ops int, bgThreads int, seed uint64
 		}
 		lat[i] = time.Since(start)
 	}
+	fgElapsed := time.Since(fgStart)
 	close(stop)
 	for t := 0; t < bgThreads; t++ {
 		<-done
@@ -83,13 +91,36 @@ func RunLatency(inst *Instance, wl Workload, ops int, bgThreads int, seed uint64
 		}
 		return lat[i]
 	}
-	return LatencyResult{
+	res := LatencyResult{
 		Ops:  ops,
 		P50:  pick(0.50),
 		P99:  pick(0.99),
 		P999: pick(0.999),
 		Max:  lat[len(lat)-1],
 	}
+	if c != nil {
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		c.Report.Append(buildRow(c, inst, wl, Result{
+			Threads: 1 + bgThreads,
+			Ops:     int64(ops),
+			Elapsed: fgElapsed,
+			// Foreground Mops only: the tail experiment measures the
+			// instrumented thread, not aggregate throughput.
+			Throughput: float64(ops) / fgElapsed.Seconds() / 1e6,
+		}, base, &obs.LatencySummary{
+			Count:  int64(ops),
+			MeanNS: float64(sum.Nanoseconds()) / float64(ops),
+			P50:    pick(0.50).Nanoseconds(),
+			P90:    pick(0.90).Nanoseconds(),
+			P99:    pick(0.99).Nanoseconds(),
+			P999:   pick(0.999).Nanoseconds(),
+			Max:    res.Max.Nanoseconds(),
+		}))
+	}
+	return res
 }
 
 // PrintLatency renders one row per subject.

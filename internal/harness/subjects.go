@@ -11,6 +11,7 @@ import (
 	"bdhtm/internal/htm"
 	"bdhtm/internal/lbtree"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/plush"
 	"bdhtm/internal/skiplist"
 	"bdhtm/internal/spash"
@@ -32,6 +33,14 @@ type Opts struct {
 	HeapWords int
 	// MemTypeRate injects the Fig. 2 MEMTYPE anomaly into HTM subjects.
 	MemTypeRate float64
+	// Obs, when non-nil, is attached to every component the subject
+	// builds: the TM, the heaps, the epoch system, the allocator, and
+	// the structure's op hot paths all record onto it.
+	Obs *obs.Recorder
+	// Manual disables background epoch advancers on buffered-durable
+	// subjects; epochs then advance only via the instance's Sync hook.
+	// Deterministic stats tests use it to script exact flush counts.
+	Manual bool
 }
 
 func (o Opts) withDefaults() Opts {
@@ -60,7 +69,9 @@ func (o Opts) nvmHeap() *nvm.Heap {
 	if o.Latency {
 		cfg.Latency = nvm.OptaneProfile
 	}
-	return nvm.New(cfg)
+	h := nvm.New(cfg)
+	h.SetObs(o.Obs)
+	return h
 }
 
 func (o Opts) dramHeap() *nvm.Heap {
@@ -72,11 +83,19 @@ func (o Opts) eadrHeap() *nvm.Heap {
 	if o.Latency {
 		cfg.Latency = nvm.OptaneProfile
 	}
-	return nvm.New(cfg)
+	h := nvm.New(cfg)
+	h.SetObs(o.Obs)
+	return h
 }
 
 func (o Opts) tm() *htm.TM {
-	return htm.New(htm.Config{MemTypeRate: o.MemTypeRate, PreWalkResidualRate: o.MemTypeRate / 10})
+	tm := htm.New(htm.Config{MemTypeRate: o.MemTypeRate, PreWalkResidualRate: o.MemTypeRate / 10})
+	tm.SetObs(o.Obs)
+	return tm
+}
+
+func (o Opts) epochCfg() epoch.Config {
+	return epoch.Config{EpochLength: o.EpochLength, Manual: o.Manual, Obs: o.Obs}
 }
 
 func (o Opts) universeBits() uint8 {
@@ -110,6 +129,7 @@ func NewHTMvEB(o Opts) *Instance {
 	o = o.withDefaults()
 	tm := o.tm()
 	t := veb.New(veb.Config{UniverseBits: o.universeBits(), TM: tm})
+	t.SetObs(o.Obs)
 	return &Instance{
 		Name:      "HTM-vEB",
 		NewHandle: func() Map { return vebMap{t: t} },
@@ -124,16 +144,19 @@ func NewPHTMvEB(o Opts) *Instance {
 	o = o.withDefaults()
 	tm := o.tm()
 	h := o.nvmHeap()
-	sys := epoch.New(h, epoch.Config{EpochLength: o.EpochLength})
+	sys := epoch.New(h, o.epochCfg())
 	t := veb.New(veb.Config{UniverseBits: o.universeBits(), TM: tm, DataSys: sys})
+	t.SetObs(o.Obs)
 	return &Instance{
-		Name:      "PHTM-vEB",
-		NewHandle: func() Map { return vebMap{t: t, w: sys.Register()} },
-		Close:     sys.Stop,
-		TMStats:   tmHook(tm),
-		DRAMBytes: t.DRAMBytes,
-		NVMBytes:  sys.Allocator().FootprintBytes,
-		Sync:      sys.Sync,
+		Name:       "PHTM-vEB",
+		NewHandle:  func() Map { return vebMap{t: t, w: sys.Register()} },
+		Close:      sys.Stop,
+		TMStats:    tmHook(tm),
+		NVMStats:   h.Stats,
+		EpochStats: sys.Stats,
+		DRAMBytes:  t.DRAMBytes,
+		NVMBytes:   sys.Allocator().FootprintBytes,
+		Sync:       sys.Sync,
 	}
 }
 
@@ -152,11 +175,14 @@ func (m funcMap) Get(k uint64) (uint64, bool) { return m.get(k) }
 // NewLBTree builds the LB+Tree baseline.
 func NewLBTree(o Opts) *Instance {
 	o = o.withDefaults()
-	t := lbtree.New(o.nvmHeap())
+	h := o.nvmHeap()
+	t := lbtree.New(h)
+	t.SetObs(o.Obs)
 	return &Instance{
 		Name:      "LB+Tree",
 		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
 		Close:     func() {},
+		NVMStats:  h.Stats,
 		DRAMBytes: t.DRAMBytes,
 		NVMBytes:  t.NVMBytes,
 	}
@@ -165,11 +191,14 @@ func NewLBTree(o Opts) *Instance {
 // NewOCCTree builds the OCC-ABTree baseline.
 func NewOCCTree(o Opts) *Instance {
 	o = o.withDefaults()
-	t := abtree.New(o.nvmHeap(), false)
+	h := o.nvmHeap()
+	t := abtree.New(h, false)
+	t.SetObs(o.Obs)
 	return &Instance{
 		Name:      "OCC-Tree",
 		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
 		Close:     func() {},
+		NVMStats:  h.Stats,
 		NVMBytes:  t.NVMBytes,
 	}
 }
@@ -177,11 +206,14 @@ func NewOCCTree(o Opts) *Instance {
 // NewElimTree builds the Elim-ABTree baseline.
 func NewElimTree(o Opts) *Instance {
 	o = o.withDefaults()
-	t := abtree.New(o.nvmHeap(), true)
+	h := o.nvmHeap()
+	t := abtree.New(h, true)
+	t.SetObs(o.Obs)
 	return &Instance{
 		Name:      "Elim-Tree",
 		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
 		Close:     func() {},
+		NVMStats:  h.Stats,
 		NVMBytes:  t.NVMBytes,
 	}
 }
@@ -202,8 +234,10 @@ func NewSkiplist(v skiplist.Variant, o Opts) *Instance {
 	switch v {
 	case skiplist.DL, skiplist.PNoFlush:
 		cfg.IndexHeap = o.nvmHeap()
+		inst.NVMStats = cfg.IndexHeap.Stats
 	case skiplist.PHTMMwCAS:
 		cfg.IndexHeap = o.nvmHeap()
+		inst.NVMStats = cfg.IndexHeap.Stats
 		cfg.TM = o.tm()
 		inst.TMStats = tmHook(cfg.TM)
 	case skiplist.Transient:
@@ -212,14 +246,17 @@ func NewSkiplist(v skiplist.Variant, o Opts) *Instance {
 		cfg.IndexHeap = o.dramHeap()
 		cfg.TM = o.tm()
 		nh := o.nvmHeap()
-		sys := epoch.New(nh, epoch.Config{EpochLength: o.EpochLength})
+		sys := epoch.New(nh, o.epochCfg())
 		cfg.DataSys = sys
 		inst.Close = sys.Stop
 		inst.Sync = sys.Sync
+		inst.NVMStats = nh.Stats
+		inst.EpochStats = sys.Stats
 		inst.NVMBytes = sys.Allocator().FootprintBytes
 		inst.TMStats = tmHook(cfg.TM)
 	}
 	l := skiplist.New(cfg)
+	l.SetObs(o.Obs)
 	inst.NewHandle = func() Map { return slMap{h: l.NewHandle()} }
 	inst.DRAMBytes = func() int64 {
 		if v == skiplist.BDL || v == skiplist.Transient {
@@ -245,12 +282,15 @@ func (m spashMap) Get(k uint64) (uint64, bool) { return m.t.Get(k) }
 func NewSpash(o Opts) *Instance {
 	o = o.withDefaults()
 	tm := o.tm()
-	t := spash.New(spash.Config{Mode: spash.ModeEADR, Heap: o.eadrHeap(), TM: tm})
+	h := o.eadrHeap()
+	t := spash.New(spash.Config{Mode: spash.ModeEADR, Heap: h, TM: tm})
+	t.SetObs(o.Obs)
 	return &Instance{
 		Name:      "Spash",
 		NewHandle: func() Map { return spashMap{t: t} },
 		Close:     func() {},
 		TMStats:   tmHook(tm),
+		NVMStats:  h.Stats,
 	}
 }
 
@@ -258,26 +298,33 @@ func NewSpash(o Opts) *Instance {
 func NewBDSpash(o Opts) *Instance {
 	o = o.withDefaults()
 	tm := o.tm()
-	sys := epoch.New(o.nvmHeap(), epoch.Config{EpochLength: o.EpochLength})
+	h := o.nvmHeap()
+	sys := epoch.New(h, o.epochCfg())
 	t := spash.New(spash.Config{Mode: spash.ModeBD, Sys: sys, TM: tm})
+	t.SetObs(o.Obs)
 	return &Instance{
-		Name:      "BD-Spash",
-		NewHandle: func() Map { return spashMap{t: t, w: sys.Register()} },
-		Close:     sys.Stop,
-		TMStats:   tmHook(tm),
-		NVMBytes:  sys.Allocator().FootprintBytes,
-		Sync:      sys.Sync,
+		Name:       "BD-Spash",
+		NewHandle:  func() Map { return spashMap{t: t, w: sys.Register()} },
+		Close:      sys.Stop,
+		TMStats:    tmHook(tm),
+		NVMStats:   h.Stats,
+		EpochStats: sys.Stats,
+		NVMBytes:   sys.Allocator().FootprintBytes,
+		Sync:       sys.Sync,
 	}
 }
 
 // NewCCEH builds the CCEH baseline.
 func NewCCEH(o Opts) *Instance {
 	o = o.withDefaults()
-	t := cceh.New(o.nvmHeap(), 4)
+	h := o.nvmHeap()
+	t := cceh.New(h, 4)
+	t.SetObs(o.Obs)
 	return &Instance{
 		Name:      "CCEH",
 		NewHandle: func() Map { return funcMap{t.Insert, t.Remove, t.Get} },
 		Close:     func() {},
+		NVMStats:  h.Stats,
 	}
 }
 
@@ -293,9 +340,13 @@ func NewPlush(o Opts) *Instance {
 	if o.Latency {
 		cfg.Latency = nvm.OptaneProfile
 	}
-	t := plush.New(nvm.New(cfg))
+	h := nvm.New(cfg)
+	h.SetObs(o.Obs)
+	t := plush.New(h)
+	t.SetObs(o.Obs)
 	return &Instance{
-		Name: "Plush",
+		Name:     "Plush",
+		NVMStats: h.Stats,
 		NewHandle: func() Map {
 			return funcMap{
 				ins: func(k, v uint64) bool { t.PutBlind(k, v); return false },
@@ -322,13 +373,17 @@ func (m bdhashMap) Get(k uint64) (uint64, bool) { return m.t.Get(k) }
 func NewBDHash(o Opts) *Instance {
 	o = o.withDefaults()
 	tm := o.tm()
-	sys := epoch.New(o.nvmHeap(), epoch.Config{EpochLength: o.EpochLength})
+	h := o.nvmHeap()
+	sys := epoch.New(h, o.epochCfg())
 	t := bdhash.New(sys, tm, int(o.KeySpace), 1)
+	t.SetObs(o.Obs)
 	return &Instance{
-		Name:      "BD-Hash (Listing 1)",
-		NewHandle: func() Map { return bdhashMap{t: t, w: sys.Register()} },
-		Close:     sys.Stop,
-		TMStats:   tmHook(tm),
-		Sync:      sys.Sync,
+		Name:       "BD-Hash (Listing 1)",
+		NewHandle:  func() Map { return bdhashMap{t: t, w: sys.Register()} },
+		Close:      sys.Stop,
+		TMStats:    tmHook(tm),
+		NVMStats:   h.Stats,
+		EpochStats: sys.Stats,
+		Sync:       sys.Sync,
 	}
 }

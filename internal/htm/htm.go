@@ -38,6 +38,14 @@ import (
 	"unsafe"
 
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
+)
+
+// obs.Outcome mirrors AbortCause value-for-value so the two packages stay
+// decoupled; these indices only compile while the enums line up.
+var (
+	_ = [1]struct{}{}[int(CausePersistOp)-int(obs.OutPersistOp)]
+	_ = [1]struct{}{}[int(numCauses)-int(obs.NumOutcomes)]
 )
 
 // AbortCause classifies why a transaction attempt failed.
@@ -152,6 +160,7 @@ type TM struct {
 	rng   atomic.Uint64 // cheap splitmix state for abort injection
 
 	stats Stats
+	obs   *obs.Recorder
 
 	pool sync.Pool
 }
@@ -185,6 +194,12 @@ func Default() *TM { return New(Config{}) }
 
 // Stats returns a snapshot of commit/abort counters.
 func (tm *TM) Stats() StatsSnapshot { return tm.stats.snapshot() }
+
+// SetObs attaches a telemetry recorder: every subsequent attempt's latency
+// and outcome are recorded on it. A nil recorder disables recording; the
+// only cost that remains on the attempt path is one pointer test. Attach
+// before the TM is shared between goroutines.
+func (tm *TM) SetObs(r *obs.Recorder) { tm.obs = r }
 
 func lineKey(p *uint64) uint64 {
 	return uint64(uintptr(unsafe.Pointer(p))) >> 6
@@ -471,6 +486,19 @@ func PreWalked() AttemptOption {
 // anything other than a transactional abort, the panic propagates after the
 // attempt's speculative state is discarded.
 func (tm *TM) Attempt(body func(tx *Tx), opts ...AttemptOption) Result {
+	if tm.obs == nil {
+		return tm.attempt(body, opts...)
+	}
+	start := tm.obs.Now()
+	res := tm.attempt(body, opts...)
+	// Cause doubles as the outcome index: CauseNone == OutCommit. The
+	// timestamp doubles as the shard hint, spreading concurrent attempts
+	// across histogram lanes without needing a thread ID.
+	tm.obs.Attempt(obs.Outcome(res.Cause), uint64(start), start)
+	return res
+}
+
+func (tm *TM) attempt(body func(tx *Tx), opts ...AttemptOption) Result {
 	var o attemptOpts
 	for _, f := range opts {
 		f(&o)

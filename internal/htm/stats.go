@@ -32,11 +32,14 @@ func (s StatsSnapshot) Aborts() int64 {
 	return s.Conflict + s.Capacity + s.Explicit + s.Locked + s.Spurious + s.MemType + s.PersistOp
 }
 
-// CommitRate is the fraction of attempts that committed (0 when idle).
+// CommitRate is the fraction of attempts that committed. An idle TM (no
+// attempts) reports 1.0 — "nothing has failed" — rather than 0, which
+// reads as a 100% abort rate and turns downstream success-rate math into
+// NaN fodder.
 func (s StatsSnapshot) CommitRate() float64 {
 	a := s.Attempts()
 	if a == 0 {
-		return 0
+		return 1
 	}
 	return float64(s.Commits) / float64(a)
 }

@@ -39,6 +39,8 @@ import (
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+
+	"bdhtm/internal/obs"
 )
 
 // Fundamental granularities, in words and bytes. A word is 8 bytes.
@@ -164,8 +166,17 @@ type Heap struct {
 	persistHook atomic.Pointer[func(PersistPoint, Addr)]
 
 	stats   Stats
+	obs     *obs.Recorder
 	crashes atomic.Int64
 }
+
+// SetObs attaches a telemetry recorder: flushes, fences, line write-backs,
+// and crashes are mirrored onto its counters (and its tracer, when one is
+// active). A nil recorder disables mirroring. Attach before the heap is
+// shared between goroutines. Word loads and stores are deliberately not
+// mirrored — they are orders of magnitude hotter than persist events and
+// already counted by Stats.
+func (h *Heap) SetObs(r *obs.Recorder) { h.obs = r }
 
 // PersistPoint identifies one durability-relevant heap event observed by a
 // persist hook: the instants at which a crash would leave distinct media
@@ -317,6 +328,13 @@ func (h *Heap) writeBackLine(l uint64, eviction bool) {
 		atomic.StoreUint64(&h.pimg[base+i], v)
 	}
 	h.stats.lineWritebacks.Add(1)
+	if h.obs != nil {
+		var ev uint64
+		if eviction {
+			ev = 1
+		}
+		h.obs.Hit(obs.MWriteBacks, obs.EvWriteBack, base, ev)
+	}
 	if eviction {
 		h.stats.evictions.Add(1)
 		if !h.cfg.Latency.Zero() {
@@ -401,6 +419,9 @@ func (h *Heap) Flush(a Addr) {
 	}
 	h.firePersist(PointFlush, a)
 	h.stats.flushes.Add(1)
+	if h.obs != nil {
+		h.obs.Hit(obs.MFlushes, obs.EvFlush, uint64(a), 0)
+	}
 	if !h.cfg.Latency.Zero() {
 		spin(h.cfg.Latency.FlushNS)
 	}
@@ -432,6 +453,9 @@ func (h *Heap) FlushRange(a Addr, words int) {
 	for l := first; l <= last; l++ {
 		h.firePersist(PointFlush, Addr(l*LineWords))
 		h.stats.flushes.Add(1)
+		if h.obs != nil {
+			h.obs.Hit(obs.MFlushes, obs.EvFlush, l*LineWords, 0)
+		}
 		if !h.cfg.Latency.Zero() {
 			spin(h.cfg.Latency.FlushNS)
 		}
@@ -447,6 +471,9 @@ func (h *Heap) FlushRange(a Addr, words int) {
 			atomic.StoreUint64(&h.pimg[base+i], v)
 		}
 		h.stats.lineWritebacks.Add(1)
+		if h.obs != nil {
+			h.obs.Hit(obs.MWriteBacks, obs.EvWriteBack, base, 0)
+		}
 		h.stats.usefulBytes.Add(LineBytes)
 		xp := base / XPLineWords
 		if _, ok := wroteXP[xp]; !ok {
@@ -466,6 +493,9 @@ func (h *Heap) Fence() {
 	}
 	h.firePersist(PointFence, 0)
 	h.stats.fences.Add(1)
+	if h.obs != nil {
+		h.obs.Hit(obs.MFences, obs.EvFence, 0, 0)
+	}
 	if !h.cfg.Latency.Zero() {
 		spin(h.cfg.Latency.FenceNS)
 	}
@@ -498,6 +528,9 @@ type CrashOptions struct {
 // persistent image and recovery code may run.
 func (h *Heap) Crash(opts CrashOptions) {
 	n := h.crashes.Add(1)
+	if h.obs != nil {
+		h.obs.Hit(obs.MCrashes, obs.EvCrash, uint64(n), 0)
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = uint64(n) * 0x9e3779b97f4a7c15

@@ -32,10 +32,12 @@ type StatsSnapshot struct {
 
 // WriteAmplification is the ratio of media bytes written to useful payload
 // bytes written back. 1.0 is ideal; Optane-style media makes small random
-// write-back expensive (Sec. 5.1 of the paper).
+// write-back expensive (Sec. 5.1 of the paper). A heap that has written
+// nothing back reports the ideal 1.0 rather than 0, which would read as
+// sub-physical amplification and poison downstream ratios.
 func (s StatsSnapshot) WriteAmplification() float64 {
 	if s.UsefulBytes == 0 {
-		return 0
+		return 1
 	}
 	return float64(s.MediaBytes) / float64(s.UsefulBytes)
 }

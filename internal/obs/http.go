@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// StartHTTP serves live observability over HTTP on addr: /obs (JSON
+// snapshot of r), /debug/vars (expvar, including the same snapshot under
+// the "obs" key), and /debug/pprof. It returns the bound address (useful
+// with ":0") after the listener is up; the server itself runs until the
+// process exits. Intended for long benchmark runs, not production use.
+func StartHTTP(addr string, r *Recorder) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	http.HandleFunc("/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,403 @@
+// Package obs is the repository's unified observability layer: one
+// low-overhead telemetry hub threaded through the substrate packages
+// (htm, nvm, epoch, palloc) and every data structure's operation hot
+// path. It provides the measurement backbone behind the paper's entire
+// evaluation — commit/abort breakdowns (Fig. 2), persist-cost and
+// write-amplification accounting (Sec. 5.1), epoch-advance stall
+// attribution (Fig. 7) — as reusable machinery instead of per-experiment
+// ad-hoc printing.
+//
+// Components:
+//
+//   - Counter: lock-free sharded event counters (counter.go).
+//   - Hist: log-scale latency histograms, per op type (insert / remove /
+//     lookup), per HTM attempt outcome (commit vs. each abort cause),
+//     and per epoch-advance phase (hist.go).
+//   - Tracer: a sharded ring-buffer event tracer with Chrome
+//     trace_event and JSONL exporters (trace.go).
+//   - Report: the stable BENCH_*.json machine-readable benchmark schema
+//     and its validator (report.go).
+//   - StartHTTP: an optional expvar/pprof/live-snapshot HTTP endpoint
+//     for long runs (http.go).
+//
+// Overhead discipline: a nil *Recorder is a valid, fully disabled
+// recorder — every method is nil-safe, and instrumented call sites guard
+// with a single pointer test (`if obs != nil`), so the disabled cost is
+// one predictable branch. When enabled, the hot paths touch only sharded
+// atomics; the tracer adds one atomic pointer load unless a trace is
+// actually active.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// NumShards is the number of independent lanes every counter and
+// histogram is striped across. Callers pick a lane with any cheap
+// per-thread-ish value (worker ID, key, timestamp); correctness never
+// depends on the choice, only contention does.
+const (
+	NumShards = 32
+	shardMask = NumShards - 1
+)
+
+// OpKind classifies a structure-level operation.
+type OpKind uint8
+
+const (
+	OpInsert OpKind = iota
+	OpRemove
+	OpLookup
+
+	NumOps
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpLookup:
+		return "lookup"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Outcome classifies one HTM attempt. The values mirror htm.AbortCause
+// one-to-one (checked by a static assertion in package htm, which cannot
+// be imported here without a cycle).
+type Outcome uint8
+
+const (
+	OutCommit Outcome = iota
+	OutConflict
+	OutCapacity
+	OutExplicit
+	OutLocked
+	OutSpurious
+	OutMemType
+	OutPersistOp
+
+	NumOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutCommit:
+		return "commit"
+	case OutConflict:
+		return "conflict"
+	case OutCapacity:
+		return "capacity"
+	case OutExplicit:
+		return "explicit"
+	case OutLocked:
+		return "locked"
+	case OutSpurious:
+		return "spurious"
+	case OutMemType:
+		return "memtype"
+	case OutPersistOp:
+		return "persist-op"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// EpochPhase names one stage of an epoch advance (epoch.AdvanceOnce):
+// the announce→drain→flush→bump timeline whose stalls the paper's Fig. 7
+// attributes to epoch length and write-back volume.
+type EpochPhase uint8
+
+const (
+	// PhaseQuiesce is the announce→drain stall: waiting for in-flight
+	// operations of the closing epoch to complete.
+	PhaseQuiesce EpochPhase = iota
+	// PhaseFlush is the background write-back of every block tracked in
+	// the closing epoch.
+	PhaseFlush
+	// PhaseRoot is the durable bump of the persisted-epoch root.
+	PhaseRoot
+	// PhaseReclaim is the deferred reclamation of retired blocks.
+	PhaseReclaim
+
+	NumEpochPhases
+)
+
+func (p EpochPhase) String() string {
+	switch p {
+	case PhaseQuiesce:
+		return "quiesce"
+	case PhaseFlush:
+		return "flush"
+	case PhaseRoot:
+		return "root"
+	case PhaseReclaim:
+		return "reclaim"
+	default:
+		return fmt.Sprintf("EpochPhase(%d)", uint8(p))
+	}
+}
+
+// Metric names one sharded event counter.
+type Metric uint8
+
+const (
+	MFlushes    Metric = iota // explicit line flushes (clwb)
+	MFences                   // store fences
+	MWriteBacks               // capacity-eviction write-backs
+	MAllocs                   // palloc block allocations
+	MFrees                    // palloc block frees
+	MAdvances                 // epoch transitions
+	MCrashes                  // simulated power failures
+	MRecoveries               // recovery passes
+
+	NumMetrics
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MFlushes:
+		return "flushes"
+	case MFences:
+		return "fences"
+	case MWriteBacks:
+		return "writebacks"
+	case MAllocs:
+		return "allocs"
+	case MFrees:
+		return "frees"
+	case MAdvances:
+		return "advances"
+	case MCrashes:
+		return "crashes"
+	case MRecoveries:
+		return "recoveries"
+	default:
+		return fmt.Sprintf("Metric(%d)", uint8(m))
+	}
+}
+
+// Recorder is the telemetry hub one benchmark run (or one test) attaches
+// to the substrate and structures. A nil *Recorder is valid and records
+// nothing; all methods are nil-safe.
+type Recorder struct {
+	name string
+	base time.Time
+	now  func() int64 // ns since an arbitrary epoch; monotonic
+
+	ops      [NumOps]Hist
+	attempts [NumOutcomes]Hist
+	phases   [NumEpochPhases]Hist
+	metrics  [NumMetrics]Counter
+
+	tracer atomic.Pointer[Tracer]
+}
+
+// New creates an enabled recorder using the monotonic wall clock.
+func New(name string) *Recorder {
+	base := time.Now()
+	return &Recorder{
+		name: name,
+		base: base,
+		now:  func() int64 { return int64(time.Since(base)) },
+	}
+}
+
+// NewWithClock creates a recorder driven by an arbitrary clock, for
+// deterministic tests. The clock must be monotonic (never decrease).
+func NewWithClock(name string, now func() int64) *Recorder {
+	return &Recorder{name: name, now: now}
+}
+
+// Name returns the recorder's label ("" for a nil recorder).
+func (r *Recorder) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Now returns the recorder's clock reading, or 0 for a nil recorder.
+// Instrumented sites pass it back to EndOp/Attempt/Phase as the start
+// timestamp.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// EndOp records the completion of one structure-level operation that
+// began at start (a prior Now reading): latency goes to the op-kind
+// histogram and, when a trace is active, one EvOp event is emitted.
+// shard is any cheap spreading value (key, worker ID).
+func (r *Recorder) EndOp(k OpKind, shard uint64, start int64) {
+	if r == nil {
+		return
+	}
+	end := r.now()
+	r.ops[k].Record(shard, end-start)
+	if tr := r.tracer.Load(); tr != nil {
+		tr.emit(Event{TS: start, Dur: end - start, Kind: EvOp, Shard: uint16(shard & shardMask), Arg1: uint64(k)})
+	}
+}
+
+// Attempt records one HTM attempt that began at start, classified by
+// outcome.
+func (r *Recorder) Attempt(o Outcome, shard uint64, start int64) {
+	if r == nil {
+		return
+	}
+	end := r.now()
+	r.attempts[o].Record(shard, end-start)
+	if tr := r.tracer.Load(); tr != nil {
+		tr.emit(Event{TS: start, Dur: end - start, Kind: EvAttempt, Shard: uint16(shard & shardMask), Arg1: uint64(o)})
+	}
+}
+
+// Phase records one epoch-advance phase that began at start, tagging the
+// trace event with the epoch being closed. It returns the end timestamp
+// so the caller can chain phases without re-reading the clock.
+func (r *Recorder) Phase(p EpochPhase, epoch uint64, start int64) int64 {
+	if r == nil {
+		return 0
+	}
+	end := r.now()
+	r.phases[p].Record(epoch, end-start)
+	if tr := r.tracer.Load(); tr != nil {
+		tr.emit(Event{TS: start, Dur: end - start, Kind: EvEpochPhase, Shard: uint16(epoch & shardMask), Arg1: uint64(p), Arg2: epoch})
+	}
+	return end
+}
+
+// Hit bumps a metric counter and, when a trace is active, emits one
+// instant event of the given kind. shard doubles as the event's first
+// argument (an address, an epoch).
+func (r *Recorder) Hit(m Metric, kind EventKind, shard, arg2 uint64) {
+	if r == nil {
+		return
+	}
+	r.metrics[m].Add(shard, 1)
+	if tr := r.tracer.Load(); tr != nil {
+		tr.emit(Event{TS: r.now(), Kind: kind, Shard: uint16(shard & shardMask), Arg1: shard, Arg2: arg2})
+	}
+}
+
+// Metric returns the current value of one counter (0 for nil recorders).
+func (r *Recorder) Metric(m Metric) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.metrics[m].Load()
+}
+
+// OpHist returns a snapshot of one op-kind latency histogram.
+func (r *Recorder) OpHist(k OpKind) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	return r.ops[k].Snapshot()
+}
+
+// AttemptHist returns a snapshot of one attempt-outcome latency
+// histogram.
+func (r *Recorder) AttemptHist(o Outcome) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	return r.attempts[o].Snapshot()
+}
+
+// PhaseHist returns a snapshot of one epoch-phase duration histogram.
+func (r *Recorder) PhaseHist(p EpochPhase) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	return r.phases[p].Snapshot()
+}
+
+// StartTrace activates event tracing with room for roughly capacity
+// events (split across shards; older events are overwritten once a
+// shard's ring fills). It returns the tracer, which stays readable after
+// tracing is stopped.
+func (r *Recorder) StartTrace(capacity int) *Tracer {
+	if r == nil {
+		return nil
+	}
+	tr := newTracer(capacity)
+	r.tracer.Store(tr)
+	return tr
+}
+
+// StopTrace detaches the active tracer (events already captured remain
+// readable on the returned tracer).
+func (r *Recorder) StopTrace() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Swap(nil)
+}
+
+// Tracer returns the active tracer, or nil.
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
+}
+
+// Snapshot captures every histogram and counter, for the -obs summary,
+// the expvar endpoint, and tests. Call it while the workload is paused
+// for exact values; concurrent calls see a possibly-torn but safe view.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{
+		Name:        r.Name(),
+		Ops:         map[string]HistSnapshot{},
+		Attempts:    map[string]HistSnapshot{},
+		EpochPhases: map[string]HistSnapshot{},
+		Metrics:     map[string]int64{},
+	}
+	if r == nil {
+		return s
+	}
+	for k := OpKind(0); k < NumOps; k++ {
+		if h := r.ops[k].Snapshot(); h.Count > 0 {
+			s.Ops[k.String()] = h
+		}
+	}
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if h := r.attempts[o].Snapshot(); h.Count > 0 {
+			s.Attempts[o.String()] = h
+		}
+	}
+	for p := EpochPhase(0); p < NumEpochPhases; p++ {
+		if h := r.phases[p].Snapshot(); h.Count > 0 {
+			s.EpochPhases[p.String()] = h
+		}
+	}
+	for m := Metric(0); m < NumMetrics; m++ {
+		if v := r.metrics[m].Load(); v != 0 {
+			s.Metrics[m.String()] = v
+		}
+	}
+	if tr := r.tracer.Load(); tr != nil {
+		s.TraceEvents, s.TraceDropped = tr.Counts()
+	}
+	return s
+}
+
+// Snapshot is the JSON-friendly point-in-time view of a Recorder.
+type Snapshot struct {
+	Name         string                  `json:"name"`
+	Ops          map[string]HistSnapshot `json:"ops"`
+	Attempts     map[string]HistSnapshot `json:"attempts"`
+	EpochPhases  map[string]HistSnapshot `json:"epoch_phases"`
+	Metrics      map[string]int64        `json:"metrics"`
+	TraceEvents  int64                   `json:"trace_events"`
+	TraceDropped int64                   `json:"trace_dropped"`
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Downstream tooling
+// (CI schema checks, EXPERIMENTS.md regeneration, trend dashboards) keys
+// on this string; bump it only with a deliberate format change.
+const SchemaVersion = "bdhtm-bench/v1"
+
+// Report is the machine-readable result of one bdbench invocation: the
+// run configuration plus one BenchRow per measured point. Append is
+// safe for concurrent use.
+type Report struct {
+	Schema  string     `json:"schema"`
+	Config  RunConfig  `json:"config"`
+	Results []BenchRow `json:"results"`
+
+	mu sync.Mutex
+}
+
+// RunConfig echoes the bdbench flags that shaped the run.
+type RunConfig struct {
+	KeySpace   uint64 `json:"keyspace"`
+	DurationNS int64  `json:"duration_ns"`
+	Threads    []int  `json:"threads"`
+	Latency    bool   `json:"latency_model"`
+	Full       bool   `json:"full"`
+}
+
+// NewReport creates an empty report for the given configuration.
+func NewReport(cfg RunConfig) *Report {
+	return &Report{Schema: SchemaVersion, Config: cfg}
+}
+
+// Append adds one measured row.
+func (r *Report) Append(row BenchRow) {
+	r.mu.Lock()
+	r.Results = append(r.Results, row)
+	r.mu.Unlock()
+}
+
+// Len returns the number of rows collected so far.
+func (r *Report) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.Results)
+}
+
+// MarshalIndent renders the report as stable, indented JSON.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return json.MarshalIndent(struct {
+		Schema  string     `json:"schema"`
+		Config  RunConfig  `json:"config"`
+		Results []BenchRow `json:"results"`
+	}{r.Schema, r.Config, r.Results}, "", "  ")
+}
+
+// WriteFile validates the report against its own schema and writes it.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := ValidateReport(data); err != nil {
+		return fmt.Errorf("obs: refusing to write schema-invalid report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchRow is one measured point: a structure under a workload at a
+// thread count. Optional sections are omitted when the structure has no
+// corresponding substrate (a transient tree has no NVM section).
+type BenchRow struct {
+	Experiment string `json:"experiment"`
+	Structure  string `json:"structure"`
+	Threads    int    `json:"threads"`
+	Dist       string `json:"dist"`
+	ReadPct    int    `json:"read_pct"`
+
+	Ops       int64   `json:"ops"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Mops      float64 `json:"mops_per_sec"`
+
+	Latency *LatencySummary `json:"latency_ns,omitempty"`
+	HTM     *HTMSummary     `json:"htm,omitempty"`
+	NVM     *NVMSummary     `json:"nvm,omitempty"`
+	Epoch   *EpochSummary   `json:"epoch,omitempty"`
+}
+
+// LatencySummary holds per-operation latency percentiles in nanoseconds.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanNS float64 `json:"mean"`
+	P50    int64   `json:"p50"`
+	P90    int64   `json:"p90"`
+	P99    int64   `json:"p99"`
+	P999   int64   `json:"p999"`
+	Max    int64   `json:"max"`
+}
+
+// FromHist summarizes a histogram snapshot.
+func (l *LatencySummary) FromHist(h HistSnapshot) {
+	l.Count = h.Count
+	l.MeanNS = h.Mean()
+	l.P50 = h.Quantile(0.50)
+	l.P90 = h.Quantile(0.90)
+	l.P99 = h.Quantile(0.99)
+	l.P999 = h.Quantile(0.999)
+	l.Max = h.MaxNS
+}
+
+// HTMSummary is the commit/abort breakdown of the paper's Fig. 2.
+type HTMSummary struct {
+	Attempts   int64            `json:"attempts"`
+	Commits    int64            `json:"commits"`
+	CommitRate float64          `json:"commit_rate"`
+	Aborts     map[string]int64 `json:"aborts"`
+}
+
+// NVMSummary is the persist-cost accounting of the paper's Sec. 5.1.
+type NVMSummary struct {
+	Flushes            int64   `json:"flushes"`
+	Fences             int64   `json:"fences"`
+	LineWritebacks     int64   `json:"line_writebacks"`
+	MediaWrites        int64   `json:"media_writes"`
+	MediaBytes         int64   `json:"media_bytes"`
+	UsefulBytes        int64   `json:"useful_bytes"`
+	WriteAmplification float64 `json:"write_amplification"`
+}
+
+// EpochSummary is the epoch system's background activity.
+type EpochSummary struct {
+	Advances      int64 `json:"advances"`
+	FlushedBlocks int64 `json:"flushed_blocks"`
+	RetiredBlocks int64 `json:"retired_blocks"`
+	FreedBlocks   int64 `json:"freed_blocks"`
+}
+
+// ValidateReport checks that data parses as a schema-conformant report:
+// current schema version, no unknown fields, and per-row sanity (names
+// present, non-negative counts, ordered percentiles, rates in range,
+// write amplification ≥ 1). It is the check CI's bench-smoke lane and
+// the golden-file tests run.
+func ValidateReport(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("report does not parse: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, SchemaVersion)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("report has no results")
+	}
+	for i, row := range rep.Results {
+		where := fmt.Sprintf("results[%d] (%s/%s)", i, row.Experiment, row.Structure)
+		if row.Experiment == "" || row.Structure == "" {
+			return fmt.Errorf("%s: empty experiment or structure name", where)
+		}
+		if row.Threads < 1 {
+			return fmt.Errorf("%s: threads %d < 1", where, row.Threads)
+		}
+		if row.Ops < 0 || row.ElapsedNS <= 0 || row.Mops < 0 {
+			return fmt.Errorf("%s: bad ops/elapsed/mops (%d, %d, %f)", where, row.Ops, row.ElapsedNS, row.Mops)
+		}
+		if l := row.Latency; l != nil {
+			if l.Count < 0 || l.P50 < 0 {
+				return fmt.Errorf("%s: negative latency fields", where)
+			}
+			if !(l.P50 <= l.P90 && l.P90 <= l.P99 && l.P99 <= l.P999 && l.P999 <= l.Max) {
+				return fmt.Errorf("%s: latency percentiles not monotonic (%d/%d/%d/%d/%d)",
+					where, l.P50, l.P90, l.P99, l.P999, l.Max)
+			}
+		}
+		if h := row.HTM; h != nil {
+			var aborts int64
+			for _, n := range h.Aborts {
+				if n < 0 {
+					return fmt.Errorf("%s: negative abort count", where)
+				}
+				aborts += n
+			}
+			if h.Attempts != h.Commits+aborts {
+				return fmt.Errorf("%s: attempts %d != commits %d + aborts %d", where, h.Attempts, h.Commits, aborts)
+			}
+			if h.CommitRate < 0 || h.CommitRate > 1 {
+				return fmt.Errorf("%s: commit rate %f outside [0,1]", where, h.CommitRate)
+			}
+		}
+		if n := row.NVM; n != nil {
+			if n.UsefulBytes > n.MediaBytes {
+				return fmt.Errorf("%s: useful bytes %d > media bytes %d", where, n.UsefulBytes, n.MediaBytes)
+			}
+			if n.WriteAmplification < 1 {
+				return fmt.Errorf("%s: write amplification %f < 1", where, n.WriteAmplification)
+			}
+		}
+		if e := row.Epoch; e != nil {
+			if e.Advances < 0 || e.FlushedBlocks < 0 || e.RetiredBlocks < 0 || e.FreedBlocks < 0 {
+				return fmt.Errorf("%s: negative epoch counters", where)
+			}
+			if e.FreedBlocks > e.RetiredBlocks {
+				return fmt.Errorf("%s: freed blocks %d > retired blocks %d", where, e.FreedBlocks, e.RetiredBlocks)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateReportFile reads and validates one BENCH_*.json file.
+func ValidateReportFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return ValidateReport(data)
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 )
 
 // Status is a block's durable lifecycle state.
@@ -132,7 +133,14 @@ type Allocator struct {
 	liveBlocks atomic.Int64
 	liveBytes  atomic.Int64
 	peakBytes  atomic.Int64
+
+	obs *obs.Recorder
 }
+
+// SetObs attaches a telemetry recorder: every Alloc and Free is mirrored
+// onto its counters (and tracer). A nil recorder disables mirroring.
+// Attach before the allocator is shared between goroutines.
+func (al *Allocator) SetObs(r *obs.Recorder) { al.obs = r }
 
 type activeSlab struct {
 	base nvm.Addr
@@ -220,6 +228,9 @@ func (al *Allocator) Alloc(class int, tag uint8) nvm.Addr {
 	al.heap.Store(b, Header{Status: Allocated, Class: class, Tag: tag, Epoch: InvalidEpoch}.Pack())
 	al.heap.Store(b+1, 0) // clear any stale deletion epoch
 	al.liveBlocks.Add(1)
+	if al.obs != nil {
+		al.obs.Hit(obs.MAllocs, obs.EvAlloc, uint64(b), uint64(class))
+	}
 	bytes := al.liveBytes.Add(int64(classWords[class] * nvm.WordBytes))
 	for {
 		peak := al.peakBytes.Load()
@@ -249,6 +260,9 @@ func (al *Allocator) Free(b nvm.Addr) {
 	al.free[hdr.Class] = append(al.free[hdr.Class], b)
 	al.mu.Unlock()
 	al.liveBlocks.Add(-1)
+	if al.obs != nil {
+		al.obs.Hit(obs.MFrees, obs.EvFree, uint64(b), uint64(hdr.Class))
+	}
 	al.liveBytes.Add(-int64(classWords[hdr.Class] * nvm.WordBytes))
 }
 

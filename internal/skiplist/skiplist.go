@@ -26,6 +26,7 @@ import (
 	"bdhtm/internal/htm"
 	"bdhtm/internal/mwcas"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/palloc"
 )
 
@@ -124,7 +125,14 @@ type List struct {
 	// removals guards BDL absence-dependent paths against acting on an
 	// absence created by a newer-epoch removal (see epoch.RemovalStamps).
 	removals epoch.RemovalStamps
+
+	obs *obs.Recorder
 }
+
+// SetObs attaches a telemetry recorder: every Get/Insert/Remove records
+// its latency on it. Attach before handles are created; nil disables
+// recording.
+func (l *List) SetObs(r *obs.Recorder) { l.obs = r }
 
 // New creates a list. For BDL, cfg.IndexHeap must be a DRAM-mode heap and
 // cfg.DataSys the epoch system over the NVM heap.
@@ -282,6 +290,9 @@ func (l *List) find(k uint64) (preds []nvm.Addr, succs []uint64, found nvm.Addr)
 // Get returns the value stored under k.
 func (h *Handle) Get(k uint64) (uint64, bool) {
 	l := h.l
+	if l.obs != nil {
+		defer l.obs.EndOp(obs.OpLookup, k, l.obs.Now())
+	}
 	l.reap.enter(h.tid)
 	defer l.reap.exit(h.tid)
 	if l.cfg.Variant == BDL {
@@ -340,6 +351,9 @@ func (h *Handle) Contains(k uint64) bool {
 // was replaced.
 func (h *Handle) Insert(k, v uint64) bool {
 	l := h.l
+	if l.obs != nil {
+		defer l.obs.EndOp(obs.OpInsert, k, l.obs.Now())
+	}
 	l.reap.enter(h.tid)
 	defer l.reap.exit(h.tid)
 	if l.cfg.Variant == BDL {
@@ -374,6 +388,9 @@ func (h *Handle) Insert(k, v uint64) bool {
 // predecessor fail and retry.
 func (h *Handle) Remove(k uint64) bool {
 	l := h.l
+	if l.obs != nil {
+		defer l.obs.EndOp(obs.OpRemove, k, l.obs.Now())
+	}
 	l.reap.enter(h.tid)
 	defer l.reap.exit(h.tid)
 	if l.cfg.Variant == BDL {

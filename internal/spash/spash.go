@@ -36,6 +36,7 @@ import (
 	"bdhtm/internal/epoch"
 	"bdhtm/internal/htm"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/palloc"
 )
 
@@ -146,8 +147,15 @@ type Table struct {
 	// epoch.RemovalStamps).
 	removals epoch.RemovalStamps
 
+	obs *obs.Recorder
+
 	perW []spashWState
 }
+
+// SetObs attaches a telemetry recorder: every Get/Insert/Remove records
+// its latency on it. Attach before the table is shared between
+// goroutines; nil disables recording.
+func (t *Table) SetObs(r *obs.Recorder) { t.obs = r }
 
 type spashWState struct {
 	prealloc nvm.Addr

@@ -25,6 +25,7 @@ import (
 	"bdhtm/internal/epoch"
 	"bdhtm/internal/htm"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 )
 
 const maxRetries = 64
@@ -57,6 +58,8 @@ type Tree struct {
 	// removals guards the fresh-insert path against acting on an absence
 	// created by a newer-epoch removal (see epoch.RemovalStamps).
 	removals epoch.RemovalStamps
+
+	obs *obs.Recorder
 
 	perW []vebWState
 }
@@ -112,9 +115,18 @@ func (t *Tree) preWalk(k uint64) {
 	t.findSlot(m, t.rootNode(), k)
 }
 
+// SetObs attaches a telemetry recorder: every Get/Insert/Remove records
+// its latency on it. Attach before the tree is shared between goroutines;
+// nil disables recording.
+func (t *Tree) SetObs(r *obs.Recorder) { t.obs = r }
+
 // Get returns the value stored under k.
 func (t *Tree) Get(k uint64) (uint64, bool) {
 	t.checkKey(k)
+	if t.obs != nil {
+		// Deferred-args idiom: Now() is evaluated here, at op start.
+		defer t.obs.EndOp(obs.OpLookup, k, t.obs.Now())
+	}
 	preWalked := false
 	for {
 		var v uint64
@@ -214,6 +226,9 @@ func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) {
 // the operation; for transient trees w is ignored and may be nil.
 func (t *Tree) Insert(w *epoch.Worker, k, v uint64) bool {
 	t.checkKey(k)
+	if t.obs != nil {
+		defer t.obs.EndOp(obs.OpInsert, k, t.obs.Now())
+	}
 	if t.sys == nil {
 		return t.insertTransient(k, v)
 	}
@@ -403,6 +418,9 @@ func (t *Tree) stampEpochDirect(b epoch.Block, e uint64) {
 // Remove deletes k, reporting whether it was present.
 func (t *Tree) Remove(w *epoch.Worker, k uint64) bool {
 	t.checkKey(k)
+	if t.obs != nil {
+		defer t.obs.EndOp(obs.OpRemove, k, t.obs.Now())
+	}
 	if t.sys == nil {
 		return t.removeTransient(k)
 	}
