@@ -6,7 +6,7 @@
 //
 //	bdbench [flags] <experiment>
 //
-// Experiments: fig1 fig2 fig3 table3 fig4 fig5 fig6 fig7 fig8 recovery tail all
+// Experiments: fig1 fig2 fig3 table3 fig4 fig5 fig6 fig7 fig8 recovery tail advance all
 //
 // Default parameters are scaled down so the full suite completes in
 // minutes on a laptop; -full restores paper-scale settings (large key
@@ -42,6 +42,9 @@ var (
 	latency  = flag.Bool("latency", true, "enable the Optane latency model on NVM heaps")
 	full     = flag.Bool("full", false, "paper-scale parameters (2^22 keys, 1s points)")
 
+	epochShards = flag.Int("epoch-shards", 1, "epoch persistence-path shards (power of two, max 32)")
+	asyncAdv    = flag.Bool("async-advance", false, "pipeline epoch advancement (flush of epoch E-1 overlaps execution of E)")
+
 	obsFlag   = flag.Bool("obs", false, "record obs telemetry and print a summary at exit")
 	traceOut  = flag.String("trace", "", "write a Chrome trace_event file (implies -obs)")
 	jsonOut   = flag.String("json", "", "write machine-readable results (schema "+obs.SchemaVersion+") to FILE")
@@ -68,7 +71,7 @@ func main() {
 		*duration = time.Second
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bdbench [flags] fig1|fig2|fig3|table3|fig4|fig5|fig6|fig7|fig8|recovery|tail|all")
+		fmt.Fprintln(os.Stderr, "usage: bdbench [flags] fig1|fig2|fig3|table3|fig4|fig5|fig6|fig7|fig8|recovery|tail|advance|all")
 		os.Exit(2)
 	}
 	if *obsFlag || *traceOut != "" || *httpAddr != "" {
@@ -117,6 +120,7 @@ func main() {
 	run("fig8", fig8)
 	run("recovery", recovery)
 	run("tail", tailLatency)
+	run("advance", advanceScaling)
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
@@ -202,7 +206,10 @@ func threadList() []int {
 }
 
 func opts() harness.Opts {
-	return harness.Opts{KeySpace: *keySpace, Latency: *latency, Obs: benchObs}
+	return harness.Opts{
+		KeySpace: *keySpace, Latency: *latency, Obs: benchObs,
+		EpochShards: *epochShards, AsyncAdvance: *asyncAdv,
+	}
 }
 
 func sweep(build func() *harness.Instance, wl harness.Workload) harness.Series {
@@ -552,6 +559,52 @@ func recovery() {
 		fmt.Printf("  %-14s scan %10v   rebuild %10v   (%d blocks)\n", "BD-Spash", scan, time.Since(start), len(recs))
 		sys2.Stop()
 	}
+}
+
+// advanceScaling measures the sharded epoch-advance pipeline: PHTM-vEB,
+// write-heavy, at the highest configured thread count, across the
+// shard/async matrix with a short epoch so the persistence path is hot.
+// It exits non-zero when every pipelined configuration commits fewer
+// operations than the serial one — the regression gate CI's bench-smoke
+// lane relies on.
+func advanceScaling() {
+	tl := threadList()
+	n := tl[len(tl)-1]
+	wl := harness.Workload{KeySpace: *keySpace, Dist: harness.Uniform, Mix: ycsb.WriteHeavy, Prefill: true}
+	fmt.Printf("\nAdvance-pipeline scaling — PHTM-vEB, write-heavy, %d threads (keyspace 2^%d)\n", n, log2(*keySpace))
+	var serialOps, bestOps int64
+	var bestName string
+	for _, c := range []struct {
+		shards int
+		async  bool
+	}{{1, false}, {4, false}, {1, true}, {4, true}} {
+		o := opts()
+		o.EpochShards = c.shards
+		o.AsyncAdvance = c.async
+		o.EpochLength = 2 * time.Millisecond
+		inst := harness.NewPHTMvEB(o)
+		name := fmt.Sprintf("PHTM-vEB/shards=%d", c.shards)
+		if c.async {
+			name += "+async"
+		}
+		inst.Name = name
+		r := harness.Run(inst, wl, n, *duration, 42)
+		st := inst.EpochStats()
+		inst.Close()
+		fmt.Printf("  shards=%d async=%-5v  %8.3f Mops/s   advance p99 %8.1f µs   backpressure %d\n",
+			c.shards, c.async, r.Throughput, float64(st.AdvanceP99NS)/1e3, st.Backpressure)
+		if c.shards == 1 && !c.async {
+			serialOps = r.Ops
+		} else if r.Ops > bestOps {
+			bestOps, bestName = r.Ops, name
+		}
+	}
+	if bestOps < serialOps {
+		fmt.Fprintf(os.Stderr, "bdbench: advance: pipeline regression — best pipelined config committed %d ops < serial %d\n",
+			bestOps, serialOps)
+		os.Exit(1)
+	}
+	fmt.Printf("  best pipelined: %s (%.2fx serial ops)\n", bestName, float64(bestOps)/float64(serialOps))
 }
 
 func heapWordsFor(keySpace uint64) int {

@@ -36,6 +36,8 @@ func main() {
 		ops     = flag.Int("ops", 0, "ops per worker per crash segment (0 = derive per round)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = derive per round; 1 = exact-prefix mode)")
 		evict   = flag.Float64("evict", crashfuzz.Derive, "eviction fraction at crash (default: derive per round)")
+		shards  = flag.Int("shards", 0, "epoch flusher shards (0 = derive per round from {1, 4})")
+		async   = flag.Int("async", crashfuzz.Derive, "pipelined epoch advance: 1 = on, 0 = off (default: derive per round)")
 		replay  = flag.String("replay", "", "replay one fully specified round (as printed by a failure) and exit")
 		verbose = flag.Bool("v", false, "log each subject's progress")
 	)
@@ -85,6 +87,8 @@ func main() {
 		base.Ops = *ops
 		base.Workers = *workers
 		base.Evict = *evict
+		base.Shards = *shards
+		base.Async = *async
 		start := time.Now()
 		if f := crashfuzz.Fuzz(base, *rounds, logf); f != nil {
 			fmt.Fprintf(os.Stderr, "%-9s FAIL after shrink: %s\n", name, f.Error())

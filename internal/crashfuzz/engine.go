@@ -37,6 +37,8 @@ type RoundParams struct {
 	AdvEvery     int     // <0 = derive in [4, 32]
 	Spurious     float64 // <0 = derive from {0, 0.01, 0.05}
 	MemType      float64 // <0 = derive from {0, 0.01}
+	Shards       int     // persistence-path flusher shards; 0 = derive from {1, 4}
+	Async        int     // <0 = derive; 0 = serial advance, 1 = pipelined advance
 }
 
 // Derive is the sentinel for "fill this field from the seed".
@@ -48,6 +50,7 @@ func NewRoundParams(subject string, seed uint64) RoundParams {
 		Subject: subject, Seed: seed,
 		Evict: Derive, CrashAfter: Derive, CrashStep: Derive,
 		TailAdvances: Derive, AdvEvery: Derive, Spurious: Derive, MemType: Derive,
+		Async: Derive,
 	}
 }
 
@@ -81,6 +84,10 @@ func Resolve(p RoundParams) RoundParams {
 	crashAfterDraw := rng.next()
 	crashStepDraw := rng.next()
 	tailAdvDraw := rng.next()
+	// Pipeline draws come last so rounds recorded before the sharded
+	// advance path existed derive the same op streams they always did.
+	shardsDraw := rng.next()
+	asyncDraw := rng.next()
 
 	if p.KeySpace == 0 {
 		p.KeySpace = keyspace
@@ -119,6 +126,12 @@ func Resolve(p RoundParams) RoundParams {
 	if p.TailAdvances < 0 {
 		p.TailAdvances = int(tailAdvDraw % 4)
 	}
+	if p.Shards == 0 {
+		p.Shards = []int{1, 4}[shardsDraw%2]
+	}
+	if p.Async < 0 {
+		p.Async = int(asyncDraw % 2)
+	}
 	return p
 }
 
@@ -126,9 +139,10 @@ func Resolve(p RoundParams) RoundParams {
 // bdfuzz -replay flag.
 func (p RoundParams) ReplayString() string {
 	return fmt.Sprintf(
-		"subject=%s seed=0x%x ops=%d workers=%d keyspace=%d evict=%.2f events=%d crash-after=%d crash-step=%d tail-adv=%d adv-every=%d spurious=%.2f memtype=%.2f",
+		"subject=%s seed=0x%x ops=%d workers=%d keyspace=%d evict=%.2f events=%d crash-after=%d crash-step=%d tail-adv=%d adv-every=%d spurious=%.2f memtype=%.2f shards=%d async=%d",
 		p.Subject, p.Seed, p.Ops, p.Workers, p.KeySpace, p.Evict, p.CrashEvents,
-		p.CrashAfter, p.CrashStep, p.TailAdvances, p.AdvEvery, p.Spurious, p.MemType)
+		p.CrashAfter, p.CrashStep, p.TailAdvances, p.AdvEvery, p.Spurious, p.MemType,
+		p.Shards, p.Async)
 }
 
 // ReplayCommand is the shell command that reproduces one round.
@@ -136,10 +150,13 @@ func (p RoundParams) ReplayCommand() string {
 	return fmt.Sprintf("go run ./cmd/bdfuzz -replay '%s'", p.ReplayString())
 }
 
-// ParseReplay decodes a ReplayString back into params.
+// ParseReplay decodes a ReplayString back into params. Specs recorded
+// before the sharded advance pipeline existed carry no shards=/async=
+// fields; those stay at their derive defaults and Resolve fills them.
 func ParseReplay(s string) (RoundParams, error) {
 	p := RoundParams{Evict: Derive, CrashAfter: Derive, CrashStep: Derive,
-		TailAdvances: Derive, AdvEvery: Derive, Spurious: Derive, MemType: Derive}
+		TailAdvances: Derive, AdvEvery: Derive, Spurious: Derive, MemType: Derive,
+		Async: Derive}
 	for _, field := range strings.Fields(s) {
 		kv := strings.SplitN(field, "=", 2)
 		if len(kv) != 2 {
@@ -176,6 +193,10 @@ func ParseReplay(s string) (RoundParams, error) {
 			_, err = fmt.Sscanf(kv[1], "%f", &p.Spurious)
 		case "memtype":
 			_, err = fmt.Sscanf(kv[1], "%f", &p.MemType)
+		case "shards":
+			_, err = fmt.Sscanf(kv[1], "%d", &p.Shards)
+		case "async":
+			_, err = fmt.Sscanf(kv[1], "%d", &p.Async)
 		default:
 			return p, fmt.Errorf("crashfuzz: unknown replay field %q", kv[0])
 		}
@@ -320,6 +341,8 @@ func newSession(p RoundParams, sub Subject) *session {
 		Workers:      1,
 		SpuriousRate: p.Spurious,
 		MemTypeRate:  p.MemType,
+		Shards:       p.Shards,
+		Async:        p.Async == 1,
 		Obs:          s.obs,
 	})
 	s.h = sub.Handle(0)
@@ -587,6 +610,8 @@ func runConcurrent(p RoundParams, sub Subject) *Failure {
 		Workers:      p.Workers,
 		SpuriousRate: p.Spurious,
 		MemTypeRate:  p.MemType,
+		Shards:       p.Shards,
+		Async:        p.Async == 1,
 		Obs:          rec,
 	})
 	fail := func(err error) *Failure { return &Failure{Params: p, Msg: subjectMsg(sub.Name(), err)} }

@@ -86,8 +86,12 @@ func Shrink(f *Failure, logf func(format string, args ...any)) *Failure {
 }
 
 // ReplayBytes drives a subject from a raw byte stream — the bridge into
-// Go's native fuzzing. The first 8 bytes seed the heap/HTM RNGs; each
-// following byte decodes to one action on a 32-key universe:
+// Go's native fuzzing. The first 8 bytes seed the heap/HTM RNGs; seed
+// bit 4 selects the epoch flusher shard count (set = 4 shards, clear =
+// serial) and bit 5 the advance mode (set = pipelined async, clear =
+// sync), so the fuzzer's inputs exercise every persistence-path
+// configuration. Each following byte decodes to one action on a 32-key
+// universe:
 //
 //	b>>5 == 0,1,7  insert key b&31
 //	b>>5 == 2      remove key b&31
@@ -112,6 +116,13 @@ func ReplayBytes(subject string, data []byte) *Failure {
 		KeySpace: 32,
 		Workers:  1,
 		Evict:    1,
+		Shards:   1,
+	}
+	if p.Seed&(1<<4) != 0 {
+		p.Shards = 4
+	}
+	if p.Seed&(1<<5) != 0 {
+		p.Async = 1
 	}
 	s := newSession(p, sub)
 	fail := func(err error) *Failure {

@@ -46,6 +46,11 @@ type Env struct {
 	// SpuriousRate / MemTypeRate inject HTM abort churn.
 	SpuriousRate float64
 	MemTypeRate  float64
+	// Shards / Async shape the epoch system's persistence path for
+	// buffered subjects: the flusher shard count and whether advances run
+	// the previous epoch's flush pipelined (epoch.Config.Shards / Async).
+	Shards int
+	Async  bool
 	// OnAdvance is forwarded to epoch.Config.OnAdvance for buffered
 	// subjects; the engine snapshots its model there.
 	OnAdvance func(persisted uint64)

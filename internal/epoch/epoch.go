@@ -79,11 +79,31 @@ type Config struct {
 	// is published. Crash-consistency harnesses use it to snapshot model
 	// state at epoch boundaries; it must not call back into the system.
 	OnAdvance func(persisted uint64)
+	// Shards is the width of the persistence path: the parallel flush
+	// fan-out during an advance, the per-shard block-lifecycle counters,
+	// and the allocator's magazine caches are all striped this many ways,
+	// with workers mapped to shards by ID. Rounded down to a power of two
+	// and clamped to [1, 32] (obs.NumShards) so a shard index is also an
+	// exact obs counter lane. Default 1 — the serial path.
+	Shards int
+	// Async pipelines advancement: instead of flushing the closing epoch
+	// inside AdvanceOnce, the advance publishes the new active epoch
+	// immediately and the flush of epoch E-1 overlaps execution of epoch
+	// E. With a background advancer a doorbell wakes a dedicated flusher
+	// goroutine; an advance that arrives while the previous flush is
+	// still in flight blocks until it lands (backpressure), so at most
+	// two epochs are ever unflushed and the recovery window
+	// P >= crash_epoch - 2 is preserved. In Manual mode there is no
+	// flusher goroutine and the pipelined flush runs inline right after
+	// the epoch is published — deterministically modeling a flusher that
+	// caught up before the next advance.
+	Async bool
 	// Obs, when non-nil, receives the epoch-advance phase timeline
-	// (quiesce/flush/root/reclaim durations), advance events, and the
-	// allocator's alloc/free events. It does not reach the heap: attach a
-	// recorder there separately (nvm.Heap.SetObs) if persist events are
-	// wanted too.
+	// (quiesce/flush/root/reclaim durations plus per-shard fan-out
+	// timings), advance events, per-shard block-lifecycle counters, the
+	// flusher queue-depth gauge, and the allocator's alloc/free events.
+	// It does not reach the heap: attach a recorder there separately
+	// (nvm.Heap.SetObs) if persist events are wanted too.
 	Obs *obs.Recorder
 }
 
@@ -93,6 +113,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWorkers == 0 {
 		c.MaxWorkers = 256
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > obs.NumShards {
+		c.Shards = obs.NumShards
+	}
+	for c.Shards&(c.Shards-1) != 0 {
+		c.Shards &= c.Shards - 1
 	}
 	return c
 }
@@ -105,6 +134,33 @@ type Stats struct {
 	FreedBlocks   int64 // retired blocks actually reclaimed
 	Resurrected   int64 // deleted-but-unpersisted blocks revived by recovery
 	RecoveredLive int64 // live blocks handed to the rebuild callback
+
+	Shards       int   // persistence-path shard count (Config.Shards)
+	Async        bool  // pipelined advancer (Config.Async)
+	Backpressure int64 // advances that found the previous flush still in flight
+	AdvanceP99NS int64 // p99 of AdvanceOnce wall time, nanoseconds
+
+	// PerShard is the per-flusher-shard decomposition of the flushed /
+	// retired / freed totals (len == Shards; sums equal the aggregates).
+	PerShard []ShardCounters
+}
+
+// ShardCounters is one flusher shard's slice of the block-lifecycle
+// counters.
+type ShardCounters struct {
+	FlushedBlocks int64
+	RetiredBlocks int64
+	FreedBlocks   int64
+}
+
+// shardCtr is one shard's cache-line-padded counter stripe. Retired is
+// bumped worker-side by PRetire; flushed and freed are published by the
+// advancer in one burst per task under the advSeq seqlock.
+type shardCtr struct {
+	flushed atomic.Int64
+	retired atomic.Int64
+	freed   atomic.Int64
+	_       [5]int64
 }
 
 // System is a BDL epoch system over one NVM heap.
@@ -121,35 +177,56 @@ type System struct {
 	freeMu   sync.Mutex
 	freeIDs  []int
 
-	advMu       sync.Mutex // serializes epoch advancement
-	pendingFree []nvm.Addr // retired blocks whose retire epoch has persisted
+	advMu sync.Mutex // serializes epoch advancement
+
+	// Async-advancer state. pendEpoch is the closed epoch whose flush
+	// has been handed to the background flusher (0 = none); the doorbell
+	// wakes the flusher, pendCond wakes advances blocked on backpressure.
+	pendMu      sync.Mutex
+	pendCond    *sync.Cond
+	pendEpoch   uint64
+	flusherGone bool
+	doorbell    chan struct{} // nil unless a background flusher runs
+	flusherDone chan struct{}
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 
 	advances      atomic.Int64
-	flushedBlocks atomic.Int64
-	retiredBlocks atomic.Int64
-	freedBlocks   atomic.Int64
+	backpressure  atomic.Int64
 	resurrected   atomic.Int64
 	recoveredLive atomic.Int64
+
+	shardCtrs []shardCtr    // per-shard flushed/retired/freed
+	advSeq    atomic.Uint64 // seqlock over each task's counter burst
+	advHist   obs.Hist      // AdvanceOnce wall-time distribution
+}
+
+// newSystem builds the in-DRAM skeleton shared by New and Recover; the
+// caller initializes the epoch clocks and root words and then calls
+// startAdvancer.
+func newSystem(h *nvm.Heap, cfg Config) *System {
+	s := &System{
+		heap:      h,
+		alloc:     palloc.New(h),
+		cfg:       cfg,
+		workers:   make([]*Worker, cfg.MaxWorkers),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		shardCtrs: make([]shardCtr, cfg.Shards),
+	}
+	s.pendCond = sync.NewCond(&s.pendMu)
+	s.alloc.SetObs(cfg.Obs)
+	s.alloc.SetShards(cfg.Shards)
+	return s
 }
 
 // New formats a fresh epoch system on the heap and starts the background
 // advancer (unless cfg.Manual). Any prior contents of the heap's root area
 // are overwritten.
 func New(h *nvm.Heap, cfg Config) *System {
-	cfg = cfg.withDefaults()
-	s := &System{
-		heap:    h,
-		alloc:   palloc.New(h),
-		cfg:     cfg,
-		workers: make([]*Worker, cfg.MaxWorkers),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-	}
-	s.alloc.SetObs(cfg.Obs)
+	s := newSystem(h, cfg.withDefaults())
 	s.global.Store(firstEpoch)
 	s.persisted.Store(firstEpoch - 2)
 	h.Store(rootMagicAddr, rootMagic)
@@ -161,6 +238,11 @@ func New(h *nvm.Heap, cfg Config) *System {
 }
 
 func (s *System) startAdvancer() {
+	if s.cfg.Async && !s.cfg.Manual {
+		s.doorbell = make(chan struct{}, 1)
+		s.flusherDone = make(chan struct{})
+		go s.flusherLoop()
+	}
 	if s.cfg.Manual {
 		close(s.done)
 		return
@@ -180,6 +262,61 @@ func (s *System) startAdvancer() {
 	}()
 }
 
+// flusherLoop is the async advancer's background flusher: each doorbell
+// ring drains the pending epoch's flush task. On Stop it exits without
+// draining — a crash may land while a flush is queued, which is exactly
+// the state recovery must (and does) handle, since the undrained epoch
+// is within the two-epoch window.
+func (s *System) flusherLoop() {
+	defer func() {
+		s.pendMu.Lock()
+		s.flusherGone = true
+		s.pendMu.Unlock()
+		s.pendCond.Broadcast()
+		close(s.flusherDone)
+	}()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.doorbell:
+		}
+		s.pendMu.Lock()
+		x := s.pendEpoch
+		s.pendMu.Unlock()
+		if x == 0 {
+			continue
+		}
+		if !s.runTaskRecover(x) {
+			// A persist hook simulated a power failure mid-flush: the
+			// flusher dies with the machine. The epoch stays pending;
+			// if the process survives (tests), the next AdvanceOnce
+			// sees flusherGone and drains inline.
+			return
+		}
+		s.pendMu.Lock()
+		s.pendEpoch = 0
+		s.pendMu.Unlock()
+		s.pendCond.Broadcast()
+		if o := s.cfg.Obs; o != nil {
+			o.SetGauge(obs.GFlusherDepth, 0)
+		}
+	}
+}
+
+// runTaskRecover runs a flush task on the flusher goroutine, converting
+// a panic (a crash-simulation hook) into a false return instead of
+// killing the process.
+func (s *System) runTaskRecover(x uint64) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	s.runTask(x)
+	return true
+}
+
 // Heap returns the underlying simulated NVM heap.
 func (s *System) Heap() *nvm.Heap { return s.heap }
 
@@ -192,16 +329,53 @@ func (s *System) GlobalEpoch() uint64 { return s.global.Load() }
 // PersistedEpoch returns the newest epoch whose updates are fully durable.
 func (s *System) PersistedEpoch() uint64 { return s.persisted.Load() }
 
-// Stats returns a snapshot of epoch-system activity counters.
+// Stats returns a consistent snapshot of epoch-system activity counters.
+//
+// The advance-side counters (flushed, freed) are published in one short
+// burst per flush task under the advSeq seqlock, so a snapshot never
+// shows a task's counters half-applied. Retired is bumped worker-side
+// outside the seqlock; it is loaded strictly after freed, which keeps
+// the fuzzer's conservation invariant (freed <= retired, per shard and
+// in aggregate) true in every snapshot: each freed block was retired
+// earlier, and both counters are monotone.
 func (s *System) Stats() Stats {
-	return Stats{
-		Advances:      s.advances.Load(),
-		FlushedBlocks: s.flushedBlocks.Load(),
-		RetiredBlocks: s.retiredBlocks.Load(),
-		FreedBlocks:   s.freedBlocks.Load(),
-		Resurrected:   s.resurrected.Load(),
-		RecoveredLive: s.recoveredLive.Load(),
+	st := Stats{
+		Shards: s.cfg.Shards,
+		Async:  s.cfg.Async,
 	}
+	for {
+		s1 := s.advSeq.Load()
+		if s1&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		st.Advances = s.advances.Load()
+		st.Backpressure = s.backpressure.Load()
+		ps := make([]ShardCounters, s.cfg.Shards)
+		var flushed, freed int64
+		for i := range ps {
+			ps[i].FlushedBlocks = s.shardCtrs[i].flushed.Load()
+			ps[i].FreedBlocks = s.shardCtrs[i].freed.Load()
+			flushed += ps[i].FlushedBlocks
+			freed += ps[i].FreedBlocks
+		}
+		if s.advSeq.Load() != s1 {
+			continue
+		}
+		st.PerShard = ps
+		st.FlushedBlocks = flushed
+		st.FreedBlocks = freed
+		break
+	}
+	for i := range st.PerShard {
+		v := s.shardCtrs[i].retired.Load()
+		st.PerShard[i].RetiredBlocks = v
+		st.RetiredBlocks += v
+	}
+	st.Resurrected = s.resurrected.Load()
+	st.RecoveredLive = s.recoveredLive.Load()
+	st.AdvanceP99NS = s.advHist.Snapshot().Quantile(0.99)
+	return st
 }
 
 // eadr reports whether the heap has a persistent cache, in which case the
@@ -214,102 +388,264 @@ func (s *System) eadr() bool { return s.heap.Mode() == nvm.ModeEADR }
 func (s *System) Stop() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
+	if s.flusherDone != nil {
+		<-s.flusherDone
+	}
 }
 
-// AdvanceOnce performs one epoch transition e -> e+1:
+// AdvanceOnce performs one epoch transition e -> e+1. In the classic
+// (sync) mode it runs the closing epoch's flush task inline before
+// publishing the new epoch, exactly the Montage-style advance:
 //
 //  1. wait for the in-flight epoch e-1 to quiesce,
 //  2. flush every NVM write tracked in epoch e-1 (and the DELETED markers
-//     of blocks retired in e-1),
+//     of blocks retired in e-1), fanned out across Config.Shards,
 //  3. durably advance the persisted-epoch root to e-1,
 //  4. reclaim blocks retired in e-1, and
 //  5. publish the new active epoch e+1.
 //
-// Worker threads are never paused: operations keep starting in e
-// throughout. AdvanceOnce is normally driven by the background advancer
-// but may be called directly (Sync, tests, manual mode).
+// With Config.Async the order inverts: the new epoch is published first
+// and the flush of the epoch that just stopped being active overlaps
+// execution of the new one — handed to the background flusher goroutine
+// (doorbell), or, in Manual mode, run inline right after the publish.
+//
+// Worker threads are never paused: operations keep starting in the
+// active epoch throughout. AdvanceOnce is normally driven by the
+// background advancer but may be called directly (Sync, tests, manual
+// mode).
 func (s *System) AdvanceOnce() {
 	s.advMu.Lock()
 	defer s.advMu.Unlock()
 
+	t0 := time.Now()
 	e := s.global.Load()
-	closing := e - 1
 
-	// Phase timeline: each phase's duration lands in its own histogram,
-	// attributing advance stalls to drain vs. write-back vs. root vs.
-	// reclaim (the decomposition behind the paper's epoch-length study).
+	if s.cfg.Async && s.doorbell != nil {
+		// Backpressure: at most one epoch's flush may be in flight. An
+		// advance that finds the previous hand-off still pending blocks
+		// until it lands, so at most two epochs are ever unflushed and
+		// recovery's window P >= crash_epoch - 2 is preserved.
+		s.pendMu.Lock()
+		if s.pendEpoch != 0 && !s.flusherGone {
+			s.backpressure.Add(1)
+			for s.pendEpoch != 0 && !s.flusherGone {
+				s.pendCond.Wait()
+			}
+		}
+		gone := s.flusherGone
+		s.pendMu.Unlock()
+		if !gone {
+			// Catch up any epochs the persisted clock is behind (fresh
+			// system, post-recovery), publish e+1, and hand epoch e —
+			// which quiesces once in-flight operations drain — to the
+			// flusher.
+			for p := s.persisted.Load(); p < e-1; p = s.persisted.Load() {
+				s.runTask(p + 1)
+			}
+			s.global.Store(e + 1)
+			s.pendMu.Lock()
+			s.pendEpoch = e
+			s.pendMu.Unlock()
+			select {
+			case s.doorbell <- struct{}{}:
+			default:
+			}
+			if o := s.cfg.Obs; o != nil {
+				o.SetGauge(obs.GFlusherDepth, 1)
+			}
+			s.finishAdvance(e, t0)
+			return
+		}
+		// The flusher died mid-flush (a simulated power failure): fall
+		// through to the inline path and drain its abandoned epoch here.
+	}
+
+	if s.cfg.Async && e > firstEpoch && s.persisted.Load() < e-1 {
+		// Inline-async (Manual mode, or unwinding after flusher death):
+		// the pipelined flush had not landed when this advance arrived —
+		// count it as backpressure, same as the blocking wait above.
+		s.backpressure.Add(1)
+	}
+
+	// Drain every epoch the persisted clock is behind. In sync mode the
+	// invariant persisted == e-2 makes this exactly one task (epoch e-1),
+	// the classic advance; in inline-async mode it is normally a no-op
+	// because the previous advance flushed eagerly below.
+	for p := s.persisted.Load(); p < e-1; p = s.persisted.Load() {
+		s.runTask(p + 1)
+	}
+
+	s.global.Store(e + 1)
+
+	if s.cfg.Async {
+		// Inline-async: eagerly flush the epoch that just stopped being
+		// active, deterministically modeling a flusher that caught up
+		// before the next advance (persisted == global-1 between
+		// advances, vs. global-2 in sync mode).
+		s.runTask(e)
+	}
+
+	s.finishAdvance(e, t0)
+}
+
+// finishAdvance publishes the bookkeeping for an advance that opened
+// epoch e+1: the advance counter and event, the wall-time sample, and
+// the OnAdvance callback. Runs under advMu.
+func (s *System) finishAdvance(e uint64, t0 time.Time) {
+	s.advances.Add(1)
+	s.advHist.Record(e, int64(time.Since(t0)))
+	if o := s.cfg.Obs; o != nil {
+		o.Hit(obs.MAdvances, obs.EvAdvance, e-1, e+1)
+	}
+	if s.cfg.OnAdvance != nil {
+		s.cfg.OnAdvance(s.persisted.Load())
+	}
+}
+
+// runTask persists epoch x: it waits for x to quiesce, collects every
+// worker's tracked blocks for x partitioned by flusher shard, fans the
+// write-backs out across the shards, durably advances the persisted
+// root to x, and reclaims x's retired blocks shard-locally. Callers
+// serialize tasks (advMu, or the flusher/pendEpoch hand-off protocol)
+// and guarantee x < the active epoch.
+func (s *System) runTask(x uint64) {
 	o := s.cfg.Obs
 	t := o.Now()
 
-	// (2) Wait for in-flight operations in epoch e-1 to complete. New
-	// operations only ever start in the active epoch, so no new work can
-	// appear in e-1.
-	s.waitQuiesce(closing)
+	// (1) Wait for in-flight operations in x to complete. New operations
+	// only ever start in the active epoch, so no new work appears in x.
+	s.waitQuiesce(x)
 	if o != nil {
-		t = o.Phase(obs.PhaseQuiesce, closing, t)
+		t = o.Phase(obs.PhaseQuiesce, x, t)
 	}
 
-	// (3) Persist everything tracked in e-1.
+	// (2) Collect the per-worker buffers for x, partitioned by shard.
+	shards := s.cfg.Shards
+	persist := make([][]nvm.Addr, shards)
+	retire := make([][]nvm.Addr, shards)
 	n := int(s.nWorkers.Load())
-	slot := int(closing % numSlots)
+	slot := int(x % numSlots)
 	for i := 0; i < n; i++ {
 		w := s.workers[i]
 		buf := &w.bufs[slot]
-		if !s.eadr() {
-			for _, b := range buf.persist {
-				hdr := s.alloc.ReadHeader(b)
-				s.heap.FlushRange(b, palloc.ClassWords(hdr.Class))
-				s.flushedBlocks.Add(1)
-			}
-			for _, b := range buf.retire {
-				// The DELETED marker and delete-epoch word share the
-				// block's header line.
-				s.heap.Flush(b)
-			}
-		}
-		// Retired blocks become reclaimable once the root below is
-		// durable; defer their Free to the next advance.
-		s.pendingFree = append(s.pendingFree, buf.retire...)
+		persist[w.shard] = append(persist[w.shard], buf.persist...)
+		retire[w.shard] = append(retire[w.shard], buf.retire...)
 		buf.persist = buf.persist[:0]
 		buf.retire = buf.retire[:0]
 	}
+
+	// (3) Persist everything tracked in x: one flush batch per shard,
+	// in parallel when sharded, then a single combining fence. Skipped
+	// entirely under eADR, where every store is already durable.
+	flushed := make([]int64, shards)
 	if !s.eadr() {
+		if shards == 1 {
+			flushed[0] = s.flushShard(0, persist[0], retire[0])
+		} else {
+			var wg sync.WaitGroup
+			var firstPanic atomic.Pointer[any]
+			for sh := 0; sh < shards; sh++ {
+				wg.Add(1)
+				go func(sh int) {
+					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							firstPanic.CompareAndSwap(nil, &r)
+						}
+					}()
+					flushed[sh] = s.flushShard(sh, persist[sh], retire[sh])
+				}(sh)
+			}
+			wg.Wait()
+			if p := firstPanic.Load(); p != nil {
+				// Re-raise the first crash-simulation panic on the task's
+				// own goroutine so crash harnesses can catch it.
+				panic(*p)
+			}
+		}
 		s.heap.Fence()
 	}
 	if o != nil {
-		t = o.Phase(obs.PhaseFlush, closing, t)
+		t = o.Phase(obs.PhaseFlush, x, t)
 	}
 
-	// (4) Durably record that e-1 has persisted.
-	s.heap.Store(rootPersistedAddr, closing)
+	// (4) Durably record that x has persisted.
+	s.heap.Store(rootPersistedAddr, x)
 	s.heap.Persist(rootPersistedAddr)
-	s.persisted.Store(closing)
+	s.persisted.Store(x)
 	if o != nil {
-		t = o.Phase(obs.PhaseRoot, closing, t)
+		t = o.Phase(obs.PhaseRoot, x, t)
 	}
 
-	// (5) Blocks retired in e-1 are now reclaimable: their DELETED
-	// markers and the root above are durable, so no recovery can
-	// resurrect them.
-	for _, b := range s.pendingFree {
-		s.alloc.Free(b)
-		s.freedBlocks.Add(1)
-	}
-	s.pendingFree = s.pendingFree[:0]
-	if o != nil {
-		o.Phase(obs.PhaseReclaim, closing, t)
+	// (5) Blocks retired in x are now reclaimable: their DELETED markers
+	// and the root above are durable, so no recovery can resurrect them.
+	// Each shard frees into its own allocator magazine, off the other
+	// shards' locks.
+	if shards == 1 {
+		for _, b := range retire[0] {
+			s.alloc.Free(b)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for sh := 0; sh < shards; sh++ {
+			if len(retire[sh]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(sh int) {
+				defer wg.Done()
+				for _, b := range retire[sh] {
+					s.alloc.FreeShard(b, sh)
+				}
+			}(sh)
+		}
+		wg.Wait()
 	}
 
-	// (6) Open epoch e+1.
-	s.global.Store(e + 1)
-	s.advances.Add(1)
+	// Publish the task's counter burst under the seqlock so Stats never
+	// observes it half-applied.
+	s.advSeq.Add(1)
+	for sh := 0; sh < shards; sh++ {
+		s.shardCtrs[sh].flushed.Add(flushed[sh])
+		s.shardCtrs[sh].freed.Add(int64(len(retire[sh])))
+	}
+	s.advSeq.Add(1)
 	if o != nil {
-		o.Hit(obs.MAdvances, obs.EvAdvance, closing, e+1)
+		for sh := 0; sh < shards; sh++ {
+			if f := int64(len(retire[sh])); f != 0 {
+				o.MetricAdd(obs.MFreedBlocks, uint64(sh), f)
+			}
+		}
+		o.Phase(obs.PhaseReclaim, x, t)
 	}
+}
 
-	if s.cfg.OnAdvance != nil {
-		s.cfg.OnAdvance(closing)
+// flushShard writes back one shard's slice of epoch x's tracked blocks
+// in a single batch: full-block extents for persisted blocks and
+// header-line extents (header word + delete-epoch word — 4-word block
+// alignment keeps the pair on one line) for retired blocks. Returns the
+// persisted-block count. Recorded as one PhaseShardFlush sample per
+// task even when the shard had nothing to write, so sample counts stay
+// proportional to advances.
+func (s *System) flushShard(sh int, persist, retire []nvm.Addr) int64 {
+	o := s.cfg.Obs
+	t := o.Now()
+	exts := make([]nvm.Extent, 0, len(persist)+len(retire))
+	for _, b := range persist {
+		hdr := s.alloc.ReadHeader(b)
+		exts = append(exts, nvm.Extent{Addr: b, Words: palloc.ClassWords(hdr.Class)})
 	}
+	for _, b := range retire {
+		exts = append(exts, nvm.Extent{Addr: b, Words: 2})
+	}
+	s.heap.FlushExtents(exts)
+	if o != nil {
+		if n := int64(len(persist)); n != 0 {
+			o.MetricAdd(obs.MFlushedBlocks, uint64(sh), n)
+		}
+		o.Phase(obs.PhaseShardFlush, uint64(sh), t)
+	}
+	return int64(len(persist))
 }
 
 // waitQuiesce spins until no worker is announced in epoch target.
@@ -356,7 +692,7 @@ func (s *System) Register() *Worker {
 	if id >= s.cfg.MaxWorkers {
 		panic(fmt.Sprintf("epoch: more than %d workers", s.cfg.MaxWorkers))
 	}
-	w := &Worker{sys: s, id: id}
+	w := &Worker{sys: s, id: id, shard: id & (s.cfg.Shards - 1)}
 	s.workers[id] = w
 	s.nWorkers.Add(1) // publish after the slot is filled
 	return w

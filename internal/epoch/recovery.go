@@ -50,15 +50,7 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 	p := h.Load(rootPersistedAddr)
 	eadr := h.Mode() == nvm.ModeEADR
 
-	s := &System{
-		heap:    h,
-		alloc:   palloc.New(h),
-		cfg:     cfg,
-		workers: make([]*Worker, cfg.MaxWorkers),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-	}
-	s.alloc.SetObs(cfg.Obs)
+	s := newSystem(h, cfg)
 	s.global.Store(p + 2)
 	s.persisted.Store(p)
 

@@ -5,6 +5,7 @@ import (
 
 	"bdhtm/internal/htm"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/palloc"
 )
 
@@ -19,8 +20,9 @@ type opBuf struct {
 // the Table 2 API: BeginOp/EndOp/AbortOp bracket each data-structure
 // operation; PNew/PTrack/PRetire/PDelete manage NVM blocks.
 type Worker struct {
-	sys *System
-	id  int
+	sys   *System
+	id    int
+	shard int // flusher shard (id & (Config.Shards-1))
 
 	// ann is the worker's slot in the announcement array: 0 when idle,
 	// otherwise the epoch of the operation in progress.
@@ -91,7 +93,7 @@ func (w *Worker) PNew(payloadWords int, tag uint8) Block {
 	if w.inTxn {
 		panic("epoch: PNew inside a hardware transaction would abort it; preallocate outside (Listing 1)")
 	}
-	b := w.sys.alloc.AllocWords(payloadWords, tag)
+	b := w.sys.alloc.AllocWordsShard(payloadWords, tag, w.shard)
 	return Block{sys: w.sys, addr: b}
 }
 
@@ -104,7 +106,7 @@ func (w *Worker) PDelete(b Block) {
 	if w.inTxn {
 		panic("epoch: PDelete inside a hardware transaction would abort it")
 	}
-	w.sys.alloc.Free(b.addr)
+	w.sys.alloc.FreeShard(b.addr, w.shard)
 }
 
 // PTrack tracks a block in the current operation's epoch: its contents
@@ -128,7 +130,10 @@ func (w *Worker) PRetire(b Block) {
 	al.SetDeleteEpoch(b.addr, w.opEpoch)
 	buf := &w.bufs[w.opEpoch%numSlots]
 	buf.retire = append(buf.retire, b.addr)
-	w.sys.retiredBlocks.Add(1)
+	w.sys.shardCtrs[w.shard].retired.Add(1)
+	if o := w.sys.cfg.Obs; o != nil {
+		o.MetricAdd(obs.MRetiredBlocks, uint64(w.shard), 1)
+	}
 }
 
 // InTxn reports whether the worker is currently inside a (simulated)

@@ -143,12 +143,30 @@ func buildRow(c *Collector, inst *Instance, wl Workload, res Result, base statsB
 	}
 	if inst.EpochStats != nil {
 		e := inst.EpochStats()
-		row.Epoch = &obs.EpochSummary{
+		sum := &obs.EpochSummary{
 			Advances:      e.Advances - base.epoch.Advances,
 			FlushedBlocks: e.FlushedBlocks - base.epoch.FlushedBlocks,
 			RetiredBlocks: e.RetiredBlocks - base.epoch.RetiredBlocks,
 			FreedBlocks:   e.FreedBlocks - base.epoch.FreedBlocks,
+			Shards:        e.Shards,
+			Async:         e.Async,
+			AdvanceP99NS:  e.AdvanceP99NS,
+			Backpressure:  e.Backpressure - base.epoch.Backpressure,
 		}
+		if len(e.PerShard) == len(base.epoch.PerShard) || len(base.epoch.PerShard) == 0 {
+			for i, ps := range e.PerShard {
+				var prev epoch.ShardCounters
+				if i < len(base.epoch.PerShard) {
+					prev = base.epoch.PerShard[i]
+				}
+				sum.PerShard = append(sum.PerShard, obs.EpochShardSummary{
+					FlushedBlocks: ps.FlushedBlocks - prev.FlushedBlocks,
+					RetiredBlocks: ps.RetiredBlocks - prev.RetiredBlocks,
+					FreedBlocks:   ps.FreedBlocks - prev.FreedBlocks,
+				})
+			}
+		}
+		row.Epoch = sum
 	}
 	return row
 }

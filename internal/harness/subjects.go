@@ -41,6 +41,12 @@ type Opts struct {
 	// subjects; epochs then advance only via the instance's Sync hook.
 	// Deterministic stats tests use it to script exact flush counts.
 	Manual bool
+	// EpochShards widths the epoch system's persistence path (parallel
+	// flush fan-out + sharded allocator magazines). 0/1 = serial.
+	EpochShards int
+	// AsyncAdvance pipelines epoch advancement: the flush of the closing
+	// epoch overlaps execution of the next one.
+	AsyncAdvance bool
 }
 
 func (o Opts) withDefaults() Opts {
@@ -95,7 +101,13 @@ func (o Opts) tm() *htm.TM {
 }
 
 func (o Opts) epochCfg() epoch.Config {
-	return epoch.Config{EpochLength: o.EpochLength, Manual: o.Manual, Obs: o.Obs}
+	return epoch.Config{
+		EpochLength: o.EpochLength,
+		Manual:      o.Manual,
+		Shards:      o.EpochShards,
+		Async:       o.AsyncAdvance,
+		Obs:         o.Obs,
+	}
 }
 
 func (o Opts) universeBits() uint8 {

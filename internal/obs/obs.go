@@ -124,6 +124,12 @@ const (
 	PhaseRoot
 	// PhaseReclaim is the deferred reclamation of retired blocks.
 	PhaseReclaim
+	// PhaseShardFlush is one flusher shard's slice of PhaseFlush: the
+	// parallel fan-out records one sample per shard per advance, keyed by
+	// shard index, so per-shard flush skew is visible. (Appended after
+	// the original phases: trace events encode the phase number in Arg1,
+	// so the enum order is part of the trace format.)
+	PhaseShardFlush
 
 	NumEpochPhases
 )
@@ -138,6 +144,8 @@ func (p EpochPhase) String() string {
 		return "root"
 	case PhaseReclaim:
 		return "reclaim"
+	case PhaseShardFlush:
+		return "shard-flush"
 	default:
 		return fmt.Sprintf("EpochPhase(%d)", uint8(p))
 	}
@@ -155,6 +163,14 @@ const (
 	MAdvances                 // epoch transitions
 	MCrashes                  // simulated power failures
 	MRecoveries               // recovery passes
+
+	// Per-shard epoch block-lifecycle counters (appended; enum order is
+	// part of the trace format). The epoch system bumps these with the
+	// flusher-shard index as the lane, so LoadLane-level parity against
+	// epoch.Stats.PerShard is exact when shard counts stay <= NumShards.
+	MFlushedBlocks // blocks written back at epoch close
+	MRetiredBlocks // blocks retired (PRetire) awaiting reclamation
+	MFreedBlocks   // retired blocks reclaimed after their epoch persisted
 
 	NumMetrics
 )
@@ -177,8 +193,35 @@ func (m Metric) String() string {
 		return "crashes"
 	case MRecoveries:
 		return "recoveries"
+	case MFlushedBlocks:
+		return "flushed-blocks"
+	case MRetiredBlocks:
+		return "retired-blocks"
+	case MFreedBlocks:
+		return "freed-blocks"
 	default:
 		return fmt.Sprintf("Metric(%d)", uint8(m))
+	}
+}
+
+// GaugeID names one instantaneous (settable, non-monotonic) value.
+type GaugeID uint8
+
+const (
+	// GFlusherDepth is the async epoch advancer's queue depth: the number
+	// of closed epochs whose flush has been handed to the background
+	// flusher but not yet completed (0 or 1 under the two-epoch window).
+	GFlusherDepth GaugeID = iota
+
+	NumGauges
+)
+
+func (g GaugeID) String() string {
+	switch g {
+	case GFlusherDepth:
+		return "flusher-depth"
+	default:
+		return fmt.Sprintf("GaugeID(%d)", uint8(g))
 	}
 }
 
@@ -194,6 +237,7 @@ type Recorder struct {
 	attempts [NumOutcomes]Hist
 	phases   [NumEpochPhases]Hist
 	metrics  [NumMetrics]Counter
+	gauges   [NumGauges]atomic.Int64
 
 	tracer atomic.Pointer[Tracer]
 }
@@ -288,12 +332,47 @@ func (r *Recorder) Hit(m Metric, kind EventKind, shard, arg2 uint64) {
 	}
 }
 
+// MetricAdd bumps a metric counter by delta on the given lane without
+// emitting a trace event — the bulk form Hit used by the epoch flusher
+// to publish a whole shard's worth of block counts at once.
+func (r *Recorder) MetricAdd(m Metric, shard uint64, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	r.metrics[m].Add(shard, delta)
+}
+
 // Metric returns the current value of one counter (0 for nil recorders).
 func (r *Recorder) Metric(m Metric) int64 {
 	if r == nil {
 		return 0
 	}
 	return r.metrics[m].Load()
+}
+
+// MetricLane returns one lane of a counter — the per-shard view used by
+// the sharded-epoch parity tests. Lanes beyond NumShards wrap.
+func (r *Recorder) MetricLane(m Metric, lane int) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.metrics[m].LoadLane(lane)
+}
+
+// SetGauge publishes an instantaneous value.
+func (r *Recorder) SetGauge(g GaugeID, v int64) {
+	if r == nil {
+		return
+	}
+	r.gauges[g].Store(v)
+}
+
+// Gauge reads an instantaneous value (0 for nil recorders).
+func (r *Recorder) Gauge(g GaugeID) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[g].Load()
 }
 
 // OpHist returns a snapshot of one op-kind latency histogram.
@@ -385,6 +464,14 @@ func (r *Recorder) Snapshot() Snapshot {
 			s.Metrics[m.String()] = v
 		}
 	}
+	for g := GaugeID(0); g < NumGauges; g++ {
+		if v := r.gauges[g].Load(); v != 0 {
+			if s.Gauges == nil {
+				s.Gauges = map[string]int64{}
+			}
+			s.Gauges[g.String()] = v
+		}
+	}
 	if tr := r.tracer.Load(); tr != nil {
 		s.TraceEvents, s.TraceDropped = tr.Counts()
 	}
@@ -398,6 +485,7 @@ type Snapshot struct {
 	Attempts     map[string]HistSnapshot `json:"attempts"`
 	EpochPhases  map[string]HistSnapshot `json:"epoch_phases"`
 	Metrics      map[string]int64        `json:"metrics"`
+	Gauges       map[string]int64        `json:"gauges,omitempty"`
 	TraceEvents  int64                   `json:"trace_events"`
 	TraceDropped int64                   `json:"trace_dropped"`
 }

@@ -42,7 +42,14 @@ func fixedReport() *Report {
 			MediaWrites: 2000, MediaBytes: 512000, UsefulBytes: 307200,
 			WriteAmplification: float64(512000) / 307200,
 		},
-		Epoch: &EpochSummary{Advances: 4, FlushedBlocks: 4800, RetiredBlocks: 900, FreedBlocks: 700},
+		Epoch: &EpochSummary{
+			Advances: 4, FlushedBlocks: 4800, RetiredBlocks: 900, FreedBlocks: 700,
+			Shards: 2, Async: true, AdvanceP99NS: 1500, Backpressure: 1,
+			PerShard: []EpochShardSummary{
+				{FlushedBlocks: 2500, RetiredBlocks: 500, FreedBlocks: 400},
+				{FlushedBlocks: 2300, RetiredBlocks: 400, FreedBlocks: 300},
+			},
+		},
 	})
 	rep.Append(BenchRow{
 		Experiment: "fig1",
@@ -127,6 +134,13 @@ func TestValidateReportRejects(t *testing.T) {
 		{"useful > media", func(r *Report) { r.Results[0].NVM.UsefulBytes = r.Results[0].NVM.MediaBytes + 1 }, "useful bytes"},
 		{"amplification < 1", func(r *Report) { r.Results[0].NVM.WriteAmplification = 0.5 }, "write amplification"},
 		{"freed > retired", func(r *Report) { r.Results[0].Epoch.FreedBlocks = r.Results[0].Epoch.RetiredBlocks + 1 }, "freed blocks"},
+		{"negative pipeline field", func(r *Report) { r.Results[0].Epoch.Backpressure = -1 }, "pipeline"},
+		{"per_shard count mismatch", func(r *Report) { r.Results[0].Epoch.Shards = 3 }, "per_shard has"},
+		{"per_shard sums mismatch", func(r *Report) { r.Results[0].Epoch.PerShard[0].FlushedBlocks++ }, "per_shard sums"},
+		{"per_shard freed > retired", func(r *Report) {
+			ps := r.Results[0].Epoch.PerShard
+			ps[0].FreedBlocks = ps[0].RetiredBlocks + 1
+		}, "per_shard[0] freed"},
 	}
 	for _, m := range mutate {
 		t.Run(m.name, func(t *testing.T) {

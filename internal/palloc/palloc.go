@@ -130,6 +130,9 @@ type Allocator struct {
 	free      [][]nvm.Addr // per-class free lists (DRAM)
 	active    []activeSlab // per-class bump state
 
+	nShards int         // sharded magazine caches (1 = disabled)
+	mags    []*magazine // len nShards when nShards > 1, else nil
+
 	liveBlocks atomic.Int64
 	liveBytes  atomic.Int64
 	peakBytes  atomic.Int64
@@ -197,25 +200,23 @@ func (al *Allocator) formatSlab(class int) nvm.Addr {
 // transaction). The returned address is the block header; the payload
 // starts one word above it.
 func (al *Allocator) Alloc(class int, tag uint8) nvm.Addr {
+	return al.AllocShard(class, tag, 0)
+}
+
+// AllocShard is Alloc routed through a flusher shard's magazine cache
+// (see SetShards). With sharding disabled it is exactly Alloc.
+func (al *Allocator) AllocShard(class int, tag uint8, shard int) nvm.Addr {
 	if class < 0 || class >= len(classWords) {
 		panic(fmt.Sprintf("palloc: bad class %d", class))
 	}
 	var b nvm.Addr
-	al.mu.Lock()
-	if n := len(al.free[class]); n > 0 {
-		b = al.free[class][n-1]
-		al.free[class] = al.free[class][:n-1]
+	if al.nShards > 1 {
+		b = al.takeMagazine(class, shard)
 	} else {
-		as := &al.active[class]
-		if as.base.IsNil() || as.next >= as.cap {
-			as.base = al.formatSlab(class)
-			as.next = 0
-			as.cap = slabCap(class)
-		}
-		b = as.base + slabBlocksOff + nvm.Addr(as.next*classWords[class])
-		as.next++
+		al.mu.Lock()
+		b = al.takeLocked(class)
+		al.mu.Unlock()
 	}
-	al.mu.Unlock()
 
 	// Ralloc-style lazy persistence: the header is NOT flushed here. If
 	// the block never reaches a persisted epoch, the media still holds
@@ -241,9 +242,34 @@ func (al *Allocator) Alloc(class int, tag uint8) nvm.Addr {
 	return b
 }
 
+// takeLocked pops a free block of class or carves one from the active
+// slab, formatting a new slab when the bump space is exhausted. Caller
+// holds al.mu.
+func (al *Allocator) takeLocked(class int) nvm.Addr {
+	if n := len(al.free[class]); n > 0 {
+		b := al.free[class][n-1]
+		al.free[class] = al.free[class][:n-1]
+		return b
+	}
+	as := &al.active[class]
+	if as.base.IsNil() || as.next >= as.cap {
+		as.base = al.formatSlab(class)
+		as.next = 0
+		as.cap = slabCap(class)
+	}
+	b := as.base + slabBlocksOff + nvm.Addr(as.next*classWords[class])
+	as.next++
+	return b
+}
+
 // AllocWords allocates a block whose payload holds at least n words.
 func (al *Allocator) AllocWords(n int, tag uint8) nvm.Addr {
 	return al.Alloc(ClassFor(n), tag)
+}
+
+// AllocWordsShard is AllocWords through a shard's magazine cache.
+func (al *Allocator) AllocWordsShard(n int, tag uint8, shard int) nvm.Addr {
+	return al.AllocShard(ClassFor(n), tag, shard)
 }
 
 // Free marks a block FREE and returns it to its class free list. Like
@@ -251,14 +277,24 @@ func (al *Allocator) AllocWords(n int, tag uint8) nvm.Addr {
 // freed because its deletion persisted (or it was never visible), so the
 // media already holds a state recovery handles correctly.
 func (al *Allocator) Free(b nvm.Addr) {
+	al.FreeShard(b, 0)
+}
+
+// FreeShard is Free routed through a flusher shard's magazine cache
+// (see SetShards). With sharding disabled it is exactly Free.
+func (al *Allocator) FreeShard(b nvm.Addr, shard int) {
 	hdr := al.ReadHeader(b)
 	if hdr.Status == Free {
 		panic(fmt.Sprintf("palloc: double free of block %d", b))
 	}
 	al.heap.Store(b, Header{Status: Free, Class: hdr.Class}.Pack())
-	al.mu.Lock()
-	al.free[hdr.Class] = append(al.free[hdr.Class], b)
-	al.mu.Unlock()
+	if al.nShards > 1 {
+		al.putMagazine(hdr.Class, b, shard)
+	} else {
+		al.mu.Lock()
+		al.free[hdr.Class] = append(al.free[hdr.Class], b)
+		al.mu.Unlock()
+	}
 	al.liveBlocks.Add(-1)
 	if al.obs != nil {
 		al.obs.Hit(obs.MFrees, obs.EvFree, uint64(b), uint64(hdr.Class))
@@ -353,6 +389,13 @@ func (al *Allocator) Recover(judge func(BlockInfo) bool) {
 	al.liveBlocks.Store(0)
 	al.liveBytes.Store(0)
 	al.formatted = 0
+	for _, m := range al.mags {
+		m.mu.Lock()
+		for c := range m.free {
+			m.free[c] = m.free[c][:0]
+		}
+		m.mu.Unlock()
+	}
 	for s := 0; s < al.slabs; s++ {
 		base := al.start + nvm.Addr(s*slabWords)
 		sh := al.heap.Load(base + slabHeaderOff)
