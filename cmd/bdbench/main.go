@@ -6,7 +6,7 @@
 //
 //	bdbench [flags] <experiment>
 //
-// Experiments: fig1 fig2 fig3 table3 fig4 fig5 fig6 fig7 fig8 recovery tail advance all
+// Experiments: fig1 fig2 fig3 table3 fig4 fig5 fig6 fig7 fig8 recovery tail advance hotpath all
 //
 // Default parameters are scaled down so the full suite completes in
 // minutes on a laptop; -full restores paper-scale settings (large key
@@ -71,7 +71,7 @@ func main() {
 		*duration = time.Second
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bdbench [flags] fig1|fig2|fig3|table3|fig4|fig5|fig6|fig7|fig8|recovery|tail|advance|all")
+		fmt.Fprintln(os.Stderr, "usage: bdbench [flags] fig1|fig2|fig3|table3|fig4|fig5|fig6|fig7|fig8|recovery|tail|advance|hotpath|all")
 		os.Exit(2)
 	}
 	if *obsFlag || *traceOut != "" || *httpAddr != "" {
@@ -121,6 +121,7 @@ func main() {
 	run("recovery", recovery)
 	run("tail", tailLatency)
 	run("advance", advanceScaling)
+	run("hotpath", hotpath)
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)

@@ -65,6 +65,22 @@ func currentCollector() *Collector {
 	return activeCollector
 }
 
+// AppendRow appends a prebuilt row to the installed collector, tagging
+// it with the current experiment label when the row carries none. It is
+// a no-op without a collector. Experiments that measure outside the
+// Run/RunLatency pipeline (bdbench's hotpath substrate matrix) use it
+// to land rows in the same report.
+func AppendRow(row obs.BenchRow) {
+	c := currentCollector()
+	if c == nil {
+		return
+	}
+	if row.Experiment == "" {
+		row.Experiment = c.experimentName()
+	}
+	c.Report.Append(row)
+}
+
 // Sub returns the interval difference s - prev.
 func (s TMStatsSnapshot) Sub(prev TMStatsSnapshot) TMStatsSnapshot {
 	return TMStatsSnapshot{

@@ -1,0 +1,77 @@
+package htm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkHotPath measures the transaction engine's fast paths: read-only
+// and read-write transactions, and commit cost across write-set sizes,
+// at 1-8 goroutines. Goroutines work on disjoint cache lines, so aborts
+// come only from hash collisions in the versioned-lock table — the
+// benchmark isolates bookkeeping cost (set maintenance, lock acquisition,
+// validation), not conflict behaviour. CI runs it with -benchtime=100x;
+// EXPERIMENTS.md records full-length before/after numbers.
+func BenchmarkHotPath(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("tx-readonly/goroutines=%d", g), func(b *testing.B) {
+			benchTx(b, g, 16, 0)
+		})
+		b.Run(fmt.Sprintf("tx-readwrite/goroutines=%d", g), func(b *testing.B) {
+			benchTx(b, g, 8, 8)
+		})
+	}
+	for _, ws := range []int{1, 16, 256} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("commit/ws=%d/goroutines=%d", ws, g), func(b *testing.B) {
+				benchTx(b, g, 0, ws)
+			})
+		}
+	}
+}
+
+// benchTx runs b.N transactions split across g goroutines; each
+// transaction reads nReads words and writes nWrites words, one word per
+// cache line, all within the goroutine's private region.
+func benchTx(b *testing.B, g, nReads, nWrites int) {
+	tm := New(Config{})
+	lines := nReads + nWrites
+	if lines == 0 {
+		b.Fatal("empty transaction")
+	}
+	// One padded region per goroutine: lines cache lines, 8 words each.
+	regions := make([][]uint64, g)
+	for w := range regions {
+		regions[w] = make([]uint64, lines*8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/g + 1
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			region := regions[w]
+			var sink uint64
+			for i := 0; i < per; i++ {
+				for {
+					res := tm.Attempt(func(tx *Tx) {
+						for r := 0; r < nReads; r++ {
+							sink += tx.Load(&region[r*8])
+						}
+						for wr := 0; wr < nWrites; wr++ {
+							tx.Store(&region[(nReads+wr)*8], uint64(i))
+						}
+					})
+					if res.Committed {
+						break
+					}
+				}
+			}
+			_ = sink
+		}(w)
+	}
+	wg.Wait()
+}

@@ -33,6 +33,7 @@ package htm
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -159,6 +160,12 @@ type TM struct {
 	txIDs atomic.Uint64
 	rng   atomic.Uint64 // cheap splitmix state for abort injection
 
+	// backoffRNG feeds retry-backoff jitter. It is deliberately separate
+	// from rng: backoff frequency depends on scheduling, so drawing
+	// jitter from the injection stream would shift the deterministic
+	// abort schedule that seeded fuzz replays depend on.
+	backoffRNG atomic.Uint64
+
 	stats Stats
 	obs   *obs.Recorder
 
@@ -178,12 +185,18 @@ func New(cfg Config) *TM {
 		seed = 0x853c49e6748fea9b
 	}
 	tm.rng.Store(seed)
+	// Table sizes derive from the configured line limits so those limits
+	// are the real abort thresholds. writeIdx is keyed per word, not per
+	// line: a full write set can hold LineWords distinct words per line.
+	readCap := setCapacity(cfg.MaxReadLines)
+	wordCap := setCapacity(cfg.MaxWriteLines * nvm.LineWords)
+	wlineCap := setCapacity(cfg.MaxWriteLines)
 	tm.pool.New = func() any {
 		return &Tx{
 			tm:       tm,
-			reads:    newKVSet(readSetCap),
-			writeIdx: newKVSet(writeSetCap),
-			wlines:   newKVSet(writeSetCap),
+			reads:    newKVSet(readCap),
+			writeIdx: newKVSet(wordCap),
+			wlines:   newKVSet(wlineCap),
 		}
 	}
 	return tm
@@ -232,11 +245,6 @@ type writeEntry struct {
 	addr nvm.Addr
 }
 
-type lockedSlot struct {
-	idx     uint64
-	prevVer uint64 // slot contents before we locked it
-}
-
 // Tx is a transaction attempt in progress. A Tx is only valid inside the
 // body function passed to Attempt and must not escape it.
 type Tx struct {
@@ -247,8 +255,19 @@ type Tx struct {
 	writes   []writeEntry
 	writeIdx kvSet // word pointer -> index+1 into writes
 	wlines   kvSet // distinct write lines (capacity accounting)
-	locked   []lockedSlot
-	res      Result
+
+	// Lock-acquisition state for commit. lockOrder holds the lock-table
+	// slots covering the write set: appended raw, then sorted and
+	// deduped in place, so acquisition runs in ascending slot order.
+	// lockPrev[i] is the pre-lock version of lockOrder[i], recorded at
+	// acquisition; aborts revert from it, and read-validation finds a
+	// held slot's pre-lock version by binary search on the sorted
+	// lockOrder where the old []lockedSlot needed an O(locked) linear
+	// scan per validated read.
+	lockOrder []uint64
+	lockPrev  []uint64
+
+	res Result
 }
 
 // lookupWrite returns the buffered write for p, or nil.
@@ -382,7 +401,8 @@ func (tx *Tx) reset(id, rv uint64) {
 	tx.writes = tx.writes[:0]
 	tx.writeIdx.reset()
 	tx.wlines.reset()
-	tx.locked = tx.locked[:0]
+	tx.lockOrder = tx.lockOrder[:0]
+	tx.lockPrev = tx.lockPrev[:0]
 	tx.res = Result{}
 }
 
@@ -391,29 +411,36 @@ func (tx *Tx) commit() bool {
 	if len(tx.writes) == 0 {
 		return true // read-only: validated incrementally, rv-consistent
 	}
-	// Acquire versioned locks for every write line (try-lock; abort on
-	// contention, as hardware would).
-	lockedWord := tx.id<<1 | 1
+	// Gather the lock-table slots covering the write set, then sort and
+	// dedup adjacent duplicates in place — O(writes log writes) total,
+	// where the old code scanned the held list per write (O(writes²)).
 	for i := range tx.writes {
-		lk := lineKey(tx.writes[i].p)
-		idx := tm.slotIdx(lk)
-		slot := &tm.table[idx]
-		already := false
-		for _, ls := range tx.locked {
-			if ls.idx == idx {
-				already = true
-				break
-			}
-		}
-		if already {
+		tx.lockOrder = append(tx.lockOrder, tm.slotIdx(lineKey(tx.writes[i].p)))
+	}
+	slices.Sort(tx.lockOrder)
+	distinct := 0
+	for i, idx := range tx.lockOrder {
+		if i > 0 && idx == tx.lockOrder[i-1] {
 			continue
 		}
+		tx.lockOrder[distinct] = idx
+		distinct++
+	}
+	tx.lockOrder = tx.lockOrder[:distinct]
+	// Acquire in ascending slot order (try-lock; abort on contention, as
+	// hardware would). Sorted acquisition breaks the symmetric-abort
+	// livelock where two transactions lock their first lines in opposite
+	// order and each aborts the other forever: with a global order, one
+	// of any pair of contenders always wins.
+	lockedWord := tx.id<<1 | 1
+	for n, idx := range tx.lockOrder {
+		slot := &tm.table[idx]
 		cur := slot.Load()
 		if cur&1 == 1 || !slot.CompareAndSwap(cur, lockedWord) {
-			tx.releaseLocks(0, false)
+			tx.releaseLocks(n, 0, false)
 			return false
 		}
-		tx.locked = append(tx.locked, lockedSlot{idx: idx, prevVer: cur})
+		tx.lockPrev = append(tx.lockPrev, cur)
 	}
 	// Validate the read set (versions were recorded +1).
 	valid := true
@@ -425,21 +452,17 @@ func (tx *Tx) commit() bool {
 			return true
 		}
 		if cur == lockedWord {
-			// We hold this slot; compare against its pre-lock version.
-			for _, ls := range tx.locked {
-				if ls.idx == idx {
-					if ls.prevVer == seen {
-						return true
-					}
-					break
-				}
+			// We hold this slot; compare against its pre-lock version,
+			// found by binary search on the sorted acquisition order.
+			if n, ok := slices.BinarySearch(tx.lockOrder, idx); ok && tx.lockPrev[n] == seen {
+				return true
 			}
 		}
 		valid = false
 		return false
 	})
 	if !valid {
-		tx.releaseLocks(0, false)
+		tx.releaseLocks(len(tx.lockOrder), 0, false)
 		return false
 	}
 	wv := tm.clock.Add(1)
@@ -452,19 +475,24 @@ func (tx *Tx) commit() bool {
 			atomic.StoreUint64(we.p, we.val)
 		}
 	}
-	tx.releaseLocks(wv, true)
+	tx.releaseLocks(len(tx.lockOrder), wv, true)
 	return true
 }
 
-func (tx *Tx) releaseLocks(wv uint64, committed bool) {
-	for _, ls := range tx.locked {
+// releaseLocks releases the first n slots of lockOrder — the ones the
+// sorted acquisition loop actually locked — and clears the lock state.
+// On commit every slot takes the new version; on abort each reverts to
+// its pre-lock version recorded in lockPrev.
+func (tx *Tx) releaseLocks(n int, wv uint64, committed bool) {
+	for i, idx := range tx.lockOrder[:n] {
 		if committed {
-			tx.tm.table[ls.idx].Store(wv << 1)
+			tx.tm.table[idx].Store(wv << 1)
 		} else {
-			tx.tm.table[ls.idx].Store(ls.prevVer)
+			tx.tm.table[idx].Store(tx.lockPrev[i])
 		}
 	}
-	tx.locked = tx.locked[:0]
+	tx.lockOrder = tx.lockOrder[:0]
+	tx.lockPrev = tx.lockPrev[:0]
 }
 
 // AttemptOption modifies a single transaction attempt.
@@ -585,13 +613,33 @@ func (tm *TM) Run(lock *FallbackLock, maxRetries int, body func(tx *Tx), fallbac
 			retries = maxRetries
 		default:
 			retries++
-			if retries&3 == 3 {
-				runtime.Gosched()
-			}
+			tm.backoff(retries)
 		}
 	}
 	lock.Acquire()
 	defer lock.Release()
 	fallback()
 	return false
+}
+
+// backoff yields for a bounded, jittered, exponentially growing delay
+// after the attempt-th transient abort. Exponential growth separates
+// contenders that keep colliding; jitter keeps two transactions with
+// identical retry counts from re-colliding in lockstep; the bound keeps
+// worst-case delay in the tens of microseconds so the fallback path is
+// still reached promptly when maxRetries is large.
+func (tm *TM) backoff(attempt int) {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	window := uint64(1) << shift
+	// splitmix64 over a dedicated atomic counter (see backoffRNG).
+	z := tm.backoffRNG.Add(0xa0761d6478bd642f)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	jitter := (z ^ (z >> 31)) % window
+	for i := uint64(0); i < window+jitter; i++ {
+		runtime.Gosched()
+	}
 }

@@ -5,10 +5,21 @@ package htm
 // bookkeeping dominated runtime, so these tables trade memory (reused via
 // the Tx pool) for allocation-free O(1) operations.
 
-const (
-	readSetCap  = 1 << 14 // line-key -> observed version
-	writeSetCap = 1 << 13 // word pointer -> write entry index
-)
+// setCapacity returns the table size (a power of two) that lets a kvSet
+// hold limit entries — and accept one more put, the insert whose
+// len()-check fires the configured-limit abort — without tripping the
+// 75% load-factor guard first. Sizing tables this way makes
+// Config.MaxReadLines/MaxWriteLines the real capacity limits: before,
+// the fixed table sizes aborted CauseCapacity at ~12K read lines no
+// matter how high MaxReadLines was configured.
+func setCapacity(limit int) int {
+	need := limit*4/3 + 2 // put fails once used*4 >= cap*3
+	capacity := 1
+	for capacity < need {
+		capacity <<= 1
+	}
+	return capacity
+}
 
 // kvSet maps uint64 keys (never 0) to uint64 values.
 type kvSet struct {

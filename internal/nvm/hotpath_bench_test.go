@@ -1,0 +1,90 @@
+package nvm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkHotPath measures the substrate cost every simulated structure
+// pays on every memory access: Heap.Load and Heap.Store on the cache-hit
+// fast path, across goroutine counts. This is the denominator of every
+// figure in the paper — if the simulation bookkeeping serializes, thread
+// sweeps measure the bookkeeping, not the algorithms. CI runs it with
+// -benchtime=100x as a compile-and-run smoke; EXPERIMENTS.md records
+// full-length before/after numbers.
+func BenchmarkHotPath(b *testing.B) {
+	const words = 1 << 16
+	for _, op := range []string{"load", "store"} {
+		store := op == "store"
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", op, g), func(b *testing.B) {
+				h := New(Config{Words: words})
+				// Touch every line once so the measured loop runs on the
+				// residency hit path, as a warmed-up structure would.
+				for a := Addr(0); a < words; a += LineWords {
+					h.Store(a, 1)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N/g + 1
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						x := uint64(w)*0x9e3779b97f4a7c15 + 1
+						for i := 0; i < per; i++ {
+							x = x*6364136223846793005 + 1442695040888963407
+							a := Addr(x % words)
+							if store {
+								h.Store(a, x)
+							} else {
+								h.Load(a)
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+	for _, g := range []int{1, 4} {
+		b.Run(fmt.Sprintf("flushextents/goroutines=%d", g), func(b *testing.B) {
+			benchFlushExtents(b, g)
+		})
+	}
+}
+
+// benchFlushExtents measures the batched-flush path the epoch flusher
+// shards drive: each goroutine repeatedly dirties and batch-flushes its
+// own word ranges. Allocation-free is part of the contract (ReportAllocs).
+func benchFlushExtents(b *testing.B, g int) {
+	const words = 1 << 16
+	const extPer = 32 // extents per batch
+	h := New(Config{Words: words})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/g + 1
+	region := uint64(words / g)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * region
+			exts := make([]Extent, extPer)
+			x := uint64(w)*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < per; i++ {
+				for e := range exts {
+					x = x*6364136223846793005 + 1442695040888963407
+					a := Addr(base + x%(region-8))
+					h.Store(a, x)
+					exts[e] = Extent{Addr: a, Words: 4}
+				}
+				h.FlushExtents(exts)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -37,6 +37,7 @@ package nvm
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -277,12 +278,25 @@ func (h *Heap) check(a Addr) {
 }
 
 // touch simulates the cache-residency effects of accessing line l.
-// It returns true if the access was a miss.
+// It returns true if the access was a miss. The hit path — the common
+// case by far on a warmed structure — is a single plain atomic load of
+// the residency bitset word; goroutines hitting resident lines never
+// issue an RMW, so they never contend on the bitset's cache lines.
 func (h *Heap) touch(l uint64) bool {
-	if h.cached.testAndSet(l) {
+	if h.cached.test(l) {
 		return false // hit
 	}
-	h.stats.misses.Add(1)
+	return h.touchMiss(l)
+}
+
+// touchMiss is the slow path of touch: claim residency with the RMW
+// (another goroutine may win the race, turning this back into a hit),
+// then charge miss accounting and apply cache-capacity pressure.
+func (h *Heap) touchMiss(l uint64) bool {
+	if h.cached.testAndSet(l) {
+		return false // raced: someone else installed the line
+	}
+	h.stats.misses.Add(l, 1)
 	if !h.cfg.Latency.Zero() {
 		spin(h.cfg.Latency.ReadMissNS)
 	}
@@ -294,9 +308,13 @@ func (h *Heap) touch(l uint64) bool {
 	return true
 }
 
-// evictSome evicts a small batch of randomly chosen resident lines,
-// writing dirty ones back to the persistent image. This models the
-// unpredictable order in which a real cache writes lines back to NVM.
+// evictSome evicts randomly chosen resident lines, writing dirty ones
+// back to the persistent image, until residency is back under the
+// configured budget. This models the unpredictable order in which a
+// real cache writes lines back to NVM. One goroutine at a time applies
+// pressure; losers of the TryLock return immediately and rely on the
+// winner looping until the budget holds, so residency cannot ratchet
+// past CacheLines just because misses raced with an eviction pass.
 func (h *Heap) evictSome() {
 	if !h.evictMu.TryLock() {
 		return // someone else is already applying pressure
@@ -304,17 +322,25 @@ func (h *Heap) evictSome() {
 	defer h.evictMu.Unlock()
 	lines := uint64(len(h.words) / LineWords)
 	const batch = 16
-	evicted := 0
-	for try := 0; try < batch*8 && evicted < batch; try++ {
-		l := h.evictRNG.Uint64N(lines)
-		if !h.cached.testAndClear(l) {
-			continue
+	for h.residentLines.Load() > int64(h.cfg.CacheLines) {
+		evicted := 0
+		for try := 0; try < batch*8 && evicted < batch; try++ {
+			l := h.evictRNG.Uint64N(lines)
+			if !h.cached.testAndClear(l) {
+				continue
+			}
+			h.residentLines.Add(-1)
+			evicted++
+			if h.dirty.testAndClear(l) {
+				h.firePersist(PointWriteBack, Addr(l*LineWords))
+				h.writeBackLine(l, true)
+			}
 		}
-		h.residentLines.Add(-1)
-		evicted++
-		if h.dirty.testAndClear(l) {
-			h.firePersist(PointWriteBack, Addr(l*LineWords))
-			h.writeBackLine(l, true)
+		if evicted == 0 {
+			// Random probing found nothing resident (the counter can
+			// briefly run ahead of the bitset while misses are mid-
+			// installation); give up rather than spin.
+			return
 		}
 	}
 }
@@ -327,7 +353,7 @@ func (h *Heap) writeBackLine(l uint64, eviction bool) {
 		v := atomic.LoadUint64(&h.words[base+i])
 		atomic.StoreUint64(&h.pimg[base+i], v)
 	}
-	h.stats.lineWritebacks.Add(1)
+	h.stats.lineWritebacks.Add(l, 1)
 	if h.obs != nil {
 		var ev uint64
 		if eviction {
@@ -336,23 +362,24 @@ func (h *Heap) writeBackLine(l uint64, eviction bool) {
 		h.obs.Hit(obs.MWriteBacks, obs.EvWriteBack, base, ev)
 	}
 	if eviction {
-		h.stats.evictions.Add(1)
+		h.stats.evictions.Add(l, 1)
 		if !h.cfg.Latency.Zero() {
 			spin(h.cfg.Latency.WriteBackNS)
 		}
 	}
 	// Each independent line write-back costs one XPLine of media write.
 	// (FlushRange coalesces adjacent lines and accounts separately.)
-	h.stats.mediaWrites.Add(1)
-	h.stats.mediaBytes.Add(XPLineBytes)
-	h.stats.usefulBytes.Add(LineBytes)
+	h.stats.mediaWrites.Add(l, 1)
+	h.stats.mediaBytes.Add(l, XPLineBytes)
+	h.stats.usefulBytes.Add(l, LineBytes)
 }
 
 // Load atomically reads the word at a from the volatile view.
 func (h *Heap) Load(a Addr) uint64 {
 	h.check(a)
-	h.stats.loads.Add(1)
-	h.touch(a.Line())
+	l := a.Line()
+	h.stats.loads.Add(l, 1)
+	h.touch(l)
 	return atomic.LoadUint64(&h.words[a])
 }
 
@@ -361,20 +388,22 @@ func (h *Heap) Load(a Addr) uint64 {
 // or evicted (ModeADR); in ModeEADR it is durable immediately.
 func (h *Heap) Store(a Addr, v uint64) {
 	h.check(a)
-	h.stats.stores.Add(1)
-	h.touch(a.Line())
+	l := a.Line()
+	h.stats.stores.Add(l, 1)
+	h.touch(l)
 	atomic.StoreUint64(&h.words[a], v)
-	h.dirty.set(a.Line())
+	h.dirty.set(l)
 }
 
 // CompareAndSwap atomically replaces the word at a if it equals old.
 func (h *Heap) CompareAndSwap(a Addr, old, new uint64) bool {
 	h.check(a)
-	h.stats.stores.Add(1)
-	h.touch(a.Line())
+	l := a.Line()
+	h.stats.stores.Add(l, 1)
+	h.touch(l)
 	ok := atomic.CompareAndSwapUint64(&h.words[a], old, new)
 	if ok {
-		h.dirty.set(a.Line())
+		h.dirty.set(l)
 	}
 	return ok
 }
@@ -382,10 +411,11 @@ func (h *Heap) CompareAndSwap(a Addr, old, new uint64) bool {
 // Add atomically adds delta to the word at a and returns the new value.
 func (h *Heap) Add(a Addr, delta uint64) uint64 {
 	h.check(a)
-	h.stats.stores.Add(1)
-	h.touch(a.Line())
+	l := a.Line()
+	h.stats.stores.Add(l, 1)
+	h.touch(l)
 	v := atomic.AddUint64(&h.words[a], delta)
-	h.dirty.set(a.Line())
+	h.dirty.set(l)
 	return v
 }
 
@@ -418,7 +448,7 @@ func (h *Heap) Flush(a Addr) {
 		return
 	}
 	h.firePersist(PointFlush, a)
-	h.stats.flushes.Add(1)
+	h.stats.flushes.Add(a.Line(), 1)
 	if h.obs != nil {
 		h.obs.Hit(obs.MFlushes, obs.EvFlush, uint64(a), 0)
 	}
@@ -447,8 +477,8 @@ func (h *Heap) FlushRange(a Addr, words int) {
 	if h.cfg.Mode != ModeADR {
 		return
 	}
-	wroteXP := make(map[uint64]struct{}, 4)
-	h.flushLines(a.Line(), (a + Addr(words) - 1).Line(), wroteXP)
+	lastXP := ^uint64(0)
+	h.flushLines(a.Line(), (a+Addr(words)-1).Line(), &lastXP)
 }
 
 // Extent is one contiguous word range of an NVM heap, the unit of a
@@ -472,8 +502,11 @@ func (h *Heap) FlushExtents(exts []Extent) {
 	if h.cfg.Mode != ModeADR {
 		return
 	}
-	wroteXP := make(map[uint64]struct{}, 8)
-	seen := make(map[uint64]struct{}, len(exts))
+	sc := flushScratchPool.Get().(*flushScratch)
+	// Deferred (not inline at the end) because persist hooks may panic
+	// mid-flush to simulate a crash; the scratch must still return to
+	// the pool on that path.
+	defer sc.release()
 	for _, ex := range exts {
 		if ex.Words <= 0 {
 			continue
@@ -481,21 +514,48 @@ func (h *Heap) FlushExtents(exts []Extent) {
 		h.check(ex.Addr)
 		h.check(ex.Addr + Addr(ex.Words) - 1)
 		for l := ex.Addr.Line(); l <= (ex.Addr + Addr(ex.Words) - 1).Line(); l++ {
-			if _, done := seen[l]; done {
-				continue
-			}
-			seen[l] = struct{}{}
-			h.flushLines(l, l, wroteXP)
+			sc.lines = append(sc.lines, l)
 		}
+	}
+	slices.Sort(sc.lines)
+	lastXP := ^uint64(0)
+	prev := ^uint64(0)
+	for _, l := range sc.lines {
+		if l == prev {
+			continue // extents sharing a line cost a single clwb
+		}
+		prev = l
+		h.flushLines(l, l, &lastXP)
 	}
 }
 
+// flushScratch is the reusable line buffer behind FlushExtents: covered
+// lines are appended, sorted, and dedup-iterated, replacing the two
+// per-call maps the batched flush path used to allocate. Sorting also
+// gives flushLines the ascending visit order its lastXP coalescing
+// relies on.
+type flushScratch struct {
+	lines []uint64
+}
+
+var flushScratchPool = sync.Pool{
+	New: func() any { return &flushScratch{lines: make([]uint64, 0, 256)} },
+}
+
+func (sc *flushScratch) release() {
+	sc.lines = sc.lines[:0]
+	flushScratchPool.Put(sc)
+}
+
 // flushLines is the shared body of FlushRange and FlushExtents: flush
-// lines [first, last], coalescing media-write accounting through wroteXP.
-func (h *Heap) flushLines(first, last uint64, wroteXP map[uint64]struct{}) {
+// lines [first, last] in ascending order, coalescing XPLine media-write
+// accounting through lastXP (callers seed it with ^uint64(0), which no
+// real XPLine index can equal; it survives across flushLines calls so a
+// whole FlushExtents batch shares one coalescing window).
+func (h *Heap) flushLines(first, last uint64, lastXP *uint64) {
 	for l := first; l <= last; l++ {
 		h.firePersist(PointFlush, Addr(l*LineWords))
-		h.stats.flushes.Add(1)
+		h.stats.flushes.Add(l, 1)
 		if h.obs != nil {
 			h.obs.Hit(obs.MFlushes, obs.EvFlush, l*LineWords, 0)
 		}
@@ -513,16 +573,16 @@ func (h *Heap) flushLines(first, last uint64, wroteXP map[uint64]struct{}) {
 			v := atomic.LoadUint64(&h.words[base+i])
 			atomic.StoreUint64(&h.pimg[base+i], v)
 		}
-		h.stats.lineWritebacks.Add(1)
+		h.stats.lineWritebacks.Add(l, 1)
 		if h.obs != nil {
 			h.obs.Hit(obs.MWriteBacks, obs.EvWriteBack, base, 0)
 		}
-		h.stats.usefulBytes.Add(LineBytes)
+		h.stats.usefulBytes.Add(l, LineBytes)
 		xp := base / XPLineWords
-		if _, ok := wroteXP[xp]; !ok {
-			wroteXP[xp] = struct{}{}
-			h.stats.mediaWrites.Add(1)
-			h.stats.mediaBytes.Add(XPLineBytes)
+		if xp != *lastXP {
+			*lastXP = xp
+			h.stats.mediaWrites.Add(l, 1)
+			h.stats.mediaBytes.Add(l, XPLineBytes)
 		}
 	}
 }
@@ -535,7 +595,7 @@ func (h *Heap) Fence() {
 		return
 	}
 	h.firePersist(PointFence, 0)
-	h.stats.fences.Add(1)
+	h.stats.fences.Add(0, 1)
 	if h.obs != nil {
 		h.obs.Hit(obs.MFences, obs.EvFence, 0, 0)
 	}

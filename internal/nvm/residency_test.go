@@ -1,0 +1,88 @@
+package nvm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestResidencyBoundedSequential pins that capacity eviction restores
+// the cache budget after every access, within one eviction batch of
+// slack: the evictor probes random lines, so a single pass may come up
+// dry and leave residency a line or two over until the next miss
+// retries, but it can never drift further than a batch.
+func TestResidencyBoundedSequential(t *testing.T) {
+	const words = 1 << 16 // 8192 lines
+	const budget = 256
+	const slack = 16 // one eviction batch
+	h := New(Config{Words: words, CacheLines: budget})
+	x := uint64(1)
+	for i := 0; i < 50000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		h.Load(Addr(x % words))
+		if r := h.residentLines.Load(); r > budget+slack {
+			t.Fatalf("after access %d: %d resident lines, want <= budget %d + slack %d", i, r, budget, slack)
+		}
+	}
+}
+
+// TestResidencyBoundedConcurrent is the regression test for the
+// unbounded cache-overrun: evictSome used to evict one fixed batch and
+// return, so every miss whose TryLock lost the race grew residentLines
+// past CacheLines with no later correction. Now the TryLock winner
+// loops until residency is back under budget, so after quiescence the
+// count may exceed the budget only by the misses that slipped in after
+// the last winner's final check — at most one per goroutine, plus one
+// eviction batch of slack.
+func TestResidencyBoundedConcurrent(t *testing.T) {
+	const words = 1 << 16
+	const budget = 256
+	const goroutines = 8
+	const accesses = 30000
+	h := New(Config{Words: words, CacheLines: budget})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := uint64(w)*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < accesses; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				a := Addr(x % words)
+				if x&1 == 0 {
+					h.Load(a)
+				} else {
+					h.Store(a, x)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	const slack = 16 + goroutines // one eviction batch + one in-flight miss each
+	if r := h.residentLines.Load(); r > budget+slack {
+		t.Fatalf("%d resident lines after quiescence, want <= %d (budget %d + slack %d)",
+			r, budget+slack, budget, slack)
+	}
+}
+
+// TestEvictionWritesBackDirtyLines sanity-checks that capacity pressure
+// still persists dirty lines: with a tiny budget, stored values must
+// keep reaching the persistent image via eviction write-back.
+func TestEvictionWritesBackDirtyLines(t *testing.T) {
+	const words = 1 << 12
+	h := New(Config{Words: words, CacheLines: 8})
+	for a := Addr(0); a < words; a++ {
+		h.Store(a, uint64(a)+1)
+	}
+	if ev := h.Stats().Evictions; ev == 0 {
+		t.Fatal("no evictions despite CacheLines=8")
+	}
+	persisted := 0
+	for a := Addr(0); a < words; a++ {
+		if h.PersistedLoad(a) == uint64(a)+1 {
+			persisted++
+		}
+	}
+	if persisted == 0 {
+		t.Fatal("eviction write-back persisted nothing")
+	}
+}

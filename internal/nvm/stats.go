@@ -1,19 +1,26 @@
 package nvm
 
-import "sync/atomic"
+import "bdhtm/internal/obs"
 
-// Stats holds the heap's internal event counters.
+// Stats holds the heap's internal event counters. Every counter is a
+// sharded obs.Counter (cache-line-padded lanes, folded on snapshot)
+// rather than one atomic word: loads and stores are the hottest
+// operations in the whole simulator, and a single shared counter word
+// serializes otherwise-independent goroutines on one cache line. Hot
+// paths pass the accessed line index as the lane hint, so goroutines
+// working disjoint data bump disjoint lanes; correctness never depends
+// on the hint (obs.Counter sums all lanes on Load).
 type Stats struct {
-	loads          atomic.Int64
-	stores         atomic.Int64
-	misses         atomic.Int64
-	flushes        atomic.Int64
-	fences         atomic.Int64
-	evictions      atomic.Int64
-	lineWritebacks atomic.Int64
-	mediaWrites    atomic.Int64
-	mediaBytes     atomic.Int64
-	usefulBytes    atomic.Int64
+	loads          obs.Counter
+	stores         obs.Counter
+	misses         obs.Counter
+	flushes        obs.Counter
+	fences         obs.Counter
+	evictions      obs.Counter
+	lineWritebacks obs.Counter
+	mediaWrites    obs.Counter
+	mediaBytes     obs.Counter
+	usefulBytes    obs.Counter
 }
 
 // StatsSnapshot is a point-in-time copy of the heap counters.
@@ -58,6 +65,9 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 	}
 }
 
+// snapshot folds every counter's lanes into one total. Concurrent with
+// accessors it is a best-effort (never torn per-lane) view; quiescent it
+// is exact, which is what the deterministic-stats parity tests rely on.
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Loads:          s.loads.Load(),
