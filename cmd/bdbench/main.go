@@ -6,7 +6,7 @@
 //
 //	bdbench [flags] <experiment>
 //
-// Experiments: fig1 fig2 fig3 table3 fig4 fig5 fig6 fig7 fig8 recovery tail advance hotpath all
+// Experiments: fig1 fig2 fig3 table3 fig4 fig5 fig6 fig7 fig8 recovery tail advance hotpath engines all
 //
 // Default parameters are scaled down so the full suite completes in
 // minutes on a laptop; -full restores paper-scale settings (large key
@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"bdhtm/internal/durability"
 	"bdhtm/internal/epoch"
 	"bdhtm/internal/harness"
 	"bdhtm/internal/htm"
@@ -44,6 +45,7 @@ var (
 
 	epochShards = flag.Int("epoch-shards", 1, "epoch persistence-path shards (power of two, max 32)")
 	asyncAdv    = flag.Bool("async-advance", false, "pipeline epoch advancement (flush of epoch E-1 overlaps execution of E)")
+	engineFlag  = flag.String("engine", "", "durability engine for buffered-durable subjects: "+strings.Join(durability.Names(), "|")+" (default bdl)")
 
 	obsFlag   = flag.Bool("obs", false, "record obs telemetry and print a summary at exit")
 	traceOut  = flag.String("trace", "", "write a Chrome trace_event file (implies -obs)")
@@ -71,8 +73,14 @@ func main() {
 		*duration = time.Second
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bdbench [flags] fig1|fig2|fig3|table3|fig4|fig5|fig6|fig7|fig8|recovery|tail|advance|hotpath|all")
+		fmt.Fprintln(os.Stderr, "usage: bdbench [flags] fig1|fig2|fig3|table3|fig4|fig5|fig6|fig7|fig8|recovery|tail|advance|hotpath|engines|all")
 		os.Exit(2)
+	}
+	if *engineFlag != "" {
+		if _, err := durability.New(*engineFlag, nil, 1, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "bdbench: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *obsFlag || *traceOut != "" || *httpAddr != "" {
 		benchObs = obs.New("bdbench")
@@ -96,6 +104,7 @@ func main() {
 			Threads:    threadList(),
 			Latency:    *latency,
 			Full:       *full,
+			Engine:     *engineFlag,
 		})
 		harness.SetCollector(collector)
 	}
@@ -122,6 +131,7 @@ func main() {
 	run("tail", tailLatency)
 	run("advance", advanceScaling)
 	run("hotpath", hotpath)
+	run("engines", engineComparison)
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
@@ -210,6 +220,7 @@ func opts() harness.Opts {
 	return harness.Opts{
 		KeySpace: *keySpace, Latency: *latency, Obs: benchObs,
 		EpochShards: *epochShards, AsyncAdvance: *asyncAdv,
+		Engine: *engineFlag,
 	}
 }
 
@@ -606,6 +617,40 @@ func advanceScaling() {
 		os.Exit(1)
 	}
 	fmt.Printf("  best pipelined: %s (%.2fx serial ops)\n", bestName, float64(bestOps)/float64(serialOps))
+}
+
+// engineComparison sweeps the pluggable durability engines under an
+// identical write-heavy PHTM-vEB workload with a short epoch, so the
+// epoch-close persist path dominates and the engines' fence budgets
+// (bdl=2, undo=3, redo4f=4, redo2f=2, quadra=1 per commit) show up as
+// fences-per-op and write amplification. Rows land in -json reports
+// tagged with the engine name.
+func engineComparison() {
+	tl := threadList()
+	n := tl[len(tl)-1]
+	wl := harness.Workload{KeySpace: *keySpace, Dist: harness.Uniform, Mix: ycsb.WriteHeavy, Prefill: true}
+	fmt.Printf("\nDurability engines — PHTM-vEB, write-heavy, %d threads (keyspace 2^%d)\n", n, log2(*keySpace))
+	fmt.Printf("  %-8s %12s %12s %10s %12s %12s %8s\n",
+		"engine", "Mops/s", "fences/op", "WA", "commits", "eng fences", "spills")
+	for _, eng := range durability.Names() {
+		o := opts()
+		o.Engine = eng
+		o.EpochLength = 2 * time.Millisecond
+		inst := harness.NewPHTMvEB(o)
+		inst.Name = "PHTM-vEB/" + eng
+		base := inst.NVMStats()
+		r := harness.Run(inst, wl, n, *duration, 42)
+		d := inst.NVMStats().Sub(base)
+		st := inst.EpochStats()
+		inst.Close()
+		fpo := 0.0
+		if r.Ops > 0 {
+			fpo = float64(d.Fences) / float64(r.Ops)
+		}
+		fmt.Printf("  %-8s %12.3f %12.4f %10.2f %12d %12d %8d\n",
+			eng, r.Throughput, fpo, d.WriteAmplification(),
+			st.EngineCommits, st.EngineFences, st.LogSpills)
+	}
 }
 
 func heapWordsFor(keySpace uint64) int {

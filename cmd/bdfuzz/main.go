@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"bdhtm/internal/crashfuzz"
+	"bdhtm/internal/durability"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		evict   = flag.Float64("evict", crashfuzz.Derive, "eviction fraction at crash (default: derive per round)")
 		shards  = flag.Int("shards", 0, "epoch flusher shards (0 = derive per round from {1, 4})")
 		async   = flag.Int("async", crashfuzz.Derive, "pipelined epoch advance: 1 = on, 0 = off (default: derive per round)")
+		engine  = flag.String("engine", "", "durability engine: "+strings.Join(durability.Names(), ", ")+" (default: derive per round)")
 		replay  = flag.String("replay", "", "replay one fully specified round (as printed by a failure) and exit")
 		verbose = flag.Bool("v", false, "log each subject's progress")
 	)
@@ -55,6 +57,13 @@ func main() {
 		}
 		fmt.Println("round passed")
 		return
+	}
+
+	if *engine != "" {
+		if _, err := durability.New(*engine, nil, 1, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	seed := crashfuzz.SeedFromEnv(0xbdf)
@@ -89,6 +98,7 @@ func main() {
 		base.Evict = *evict
 		base.Shards = *shards
 		base.Async = *async
+		base.Engine = *engine
 		start := time.Now()
 		if f := crashfuzz.Fuzz(base, *rounds, logf); f != nil {
 			fmt.Fprintf(os.Stderr, "%-9s FAIL after shrink: %s\n", name, f.Error())

@@ -2,6 +2,7 @@ package crashfuzz
 
 import (
 	"fmt"
+	"os"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bdhtm/internal/durability"
 	"bdhtm/internal/nvm"
 	"bdhtm/internal/obs"
 )
@@ -39,18 +41,22 @@ type RoundParams struct {
 	MemType      float64 // <0 = derive from {0, 0.01}
 	Shards       int     // persistence-path flusher shards; 0 = derive from {1, 4}
 	Async        int     // <0 = derive; 0 = serial advance, 1 = pipelined advance
+	Engine       string  // durability engine; "" = derive from durability.Names()
 }
 
 // Derive is the sentinel for "fill this field from the seed".
 const Derive = -1
 
 // NewRoundParams returns params with every derivable field set to derive.
+// BDFUZZ_ENGINE, when set, pins the durability engine for every round —
+// CI's engines matrix uses it to run the whole fuzz suite per engine.
 func NewRoundParams(subject string, seed uint64) RoundParams {
 	return RoundParams{
 		Subject: subject, Seed: seed,
 		Evict: Derive, CrashAfter: Derive, CrashStep: Derive,
 		TailAdvances: Derive, AdvEvery: Derive, Spurious: Derive, MemType: Derive,
-		Async: Derive,
+		Async:  Derive,
+		Engine: os.Getenv("BDFUZZ_ENGINE"),
 	}
 }
 
@@ -85,9 +91,11 @@ func Resolve(p RoundParams) RoundParams {
 	crashStepDraw := rng.next()
 	tailAdvDraw := rng.next()
 	// Pipeline draws come last so rounds recorded before the sharded
-	// advance path existed derive the same op streams they always did.
+	// advance path existed derive the same op streams they always did;
+	// the engine draw in turn follows them for the same reason.
 	shardsDraw := rng.next()
 	asyncDraw := rng.next()
+	engineDraw := rng.next()
 
 	if p.KeySpace == 0 {
 		p.KeySpace = keyspace
@@ -132,6 +140,10 @@ func Resolve(p RoundParams) RoundParams {
 	if p.Async < 0 {
 		p.Async = int(asyncDraw % 2)
 	}
+	if p.Engine == "" {
+		names := durability.Names()
+		p.Engine = names[engineDraw%uint64(len(names))]
+	}
 	return p
 }
 
@@ -139,10 +151,10 @@ func Resolve(p RoundParams) RoundParams {
 // bdfuzz -replay flag.
 func (p RoundParams) ReplayString() string {
 	return fmt.Sprintf(
-		"subject=%s seed=0x%x ops=%d workers=%d keyspace=%d evict=%.2f events=%d crash-after=%d crash-step=%d tail-adv=%d adv-every=%d spurious=%.2f memtype=%.2f shards=%d async=%d",
+		"subject=%s seed=0x%x ops=%d workers=%d keyspace=%d evict=%.2f events=%d crash-after=%d crash-step=%d tail-adv=%d adv-every=%d spurious=%.2f memtype=%.2f shards=%d async=%d engine=%s",
 		p.Subject, p.Seed, p.Ops, p.Workers, p.KeySpace, p.Evict, p.CrashEvents,
 		p.CrashAfter, p.CrashStep, p.TailAdvances, p.AdvEvery, p.Spurious, p.MemType,
-		p.Shards, p.Async)
+		p.Shards, p.Async, p.Engine)
 }
 
 // ReplayCommand is the shell command that reproduces one round.
@@ -151,8 +163,9 @@ func (p RoundParams) ReplayCommand() string {
 }
 
 // ParseReplay decodes a ReplayString back into params. Specs recorded
-// before the sharded advance pipeline existed carry no shards=/async=
-// fields; those stay at their derive defaults and Resolve fills them.
+// before the sharded advance pipeline or the pluggable engines existed
+// carry no shards=/async=/engine= fields; those stay at their derive
+// defaults and Resolve fills them.
 func ParseReplay(s string) (RoundParams, error) {
 	p := RoundParams{Evict: Derive, CrashAfter: Derive, CrashStep: Derive,
 		TailAdvances: Derive, AdvEvery: Derive, Spurious: Derive, MemType: Derive,
@@ -197,6 +210,8 @@ func ParseReplay(s string) (RoundParams, error) {
 			_, err = fmt.Sscanf(kv[1], "%d", &p.Shards)
 		case "async":
 			_, err = fmt.Sscanf(kv[1], "%d", &p.Async)
+		case "engine":
+			p.Engine = kv[1]
 		default:
 			return p, fmt.Errorf("crashfuzz: unknown replay field %q", kv[0])
 		}
@@ -343,6 +358,7 @@ func newSession(p RoundParams, sub Subject) *session {
 		MemTypeRate:  p.MemType,
 		Shards:       p.Shards,
 		Async:        p.Async == 1,
+		Engine:       p.Engine,
 		Obs:          s.obs,
 	})
 	s.h = sub.Handle(0)
@@ -612,6 +628,7 @@ func runConcurrent(p RoundParams, sub Subject) *Failure {
 		MemTypeRate:  p.MemType,
 		Shards:       p.Shards,
 		Async:        p.Async == 1,
+		Engine:       p.Engine,
 		Obs:          rec,
 	})
 	fail := func(err error) *Failure { return &Failure{Params: p, Msg: subjectMsg(sub.Name(), err)} }

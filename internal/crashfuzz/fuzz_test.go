@@ -22,6 +22,13 @@ func fuzzSubject(f *testing.F, subject string) {
 	// ReplayBytes); these exercise the sharded fan-out and async paths.
 	f.Add([]byte("\x10\x00\x00\x00\x00\x00\x00\x00" + "\x01\x02\x03\x04\x80\x05\x80\xbf\x06"))
 	f.Add([]byte("\x30\x00\x00\x00\x00\x00\x00\x00" + "\x01\x02\x80\x42\x80\x80\xc1\x03\x80"))
+	// Seed bits 6-8 select the durability engine (undo, redo4f, redo2f,
+	// quadra); each shape crashes mid-stream so the engine's log replay
+	// or rollback runs at recovery. testdata/fuzz/ carries named copies.
+	f.Add([]byte("\x40\x00\x00\x00\x00\x00\x00\x00" + "\x01\x02\x03\x80\x41\x04\x80\xbf\x05\x80\xc0"))
+	f.Add([]byte("\x80\x00\x00\x00\x00\x00\x00\x00" + "\x05\x06\x07\x80\x45\x08\x80\xa5\x09\x80\xc0"))
+	f.Add([]byte("\xd0\x00\x00\x00\x00\x00\x00\x00" + "\x0a\x0b\x0c\x80\x4a\x0d\x80\x80\xbf\x0e\x80\xc0"))
+	f.Add([]byte("\x00\x01\x00\x00\x00\x00\x00\x00" + "\x11\x12\x13\x80\x51\x14\x80\xb0\x15\x80\xc0"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if fail := ReplayBytes(subject, data); fail != nil {
 			t.Fatalf("%s", fail.Msg)

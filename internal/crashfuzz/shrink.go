@@ -3,6 +3,8 @@ package crashfuzz
 import (
 	"encoding/binary"
 	"fmt"
+
+	"bdhtm/internal/durability"
 )
 
 // Fuzz runs `rounds` rounds derived from base.Seed. Overridden fields in
@@ -88,10 +90,10 @@ func Shrink(f *Failure, logf func(format string, args ...any)) *Failure {
 // ReplayBytes drives a subject from a raw byte stream — the bridge into
 // Go's native fuzzing. The first 8 bytes seed the heap/HTM RNGs; seed
 // bit 4 selects the epoch flusher shard count (set = 4 shards, clear =
-// serial) and bit 5 the advance mode (set = pipelined async, clear =
-// sync), so the fuzzer's inputs exercise every persistence-path
-// configuration. Each following byte decodes to one action on a 32-key
-// universe:
+// serial), bit 5 the advance mode (set = pipelined async, clear =
+// sync), and bits 6-8 the durability engine (modulo durability.Names()),
+// so the fuzzer's inputs exercise every persistence-path configuration.
+// Each following byte decodes to one action on a 32-key universe:
 //
 //	b>>5 == 0,1,7  insert key b&31
 //	b>>5 == 2      remove key b&31
@@ -124,6 +126,8 @@ func ReplayBytes(subject string, data []byte) *Failure {
 	if p.Seed&(1<<5) != 0 {
 		p.Async = 1
 	}
+	names := durability.Names()
+	p.Engine = names[(p.Seed>>6)&7%uint64(len(names))]
 	s := newSession(p, sub)
 	fail := func(err error) *Failure {
 		return &Failure{Params: p, Msg: fmt.Sprintf("%s (native fuzz input, seed 0x%x)", err, p.Seed)}

@@ -51,6 +51,9 @@ type Env struct {
 	// the previous epoch's flush pipelined (epoch.Config.Shards / Async).
 	Shards int
 	Async  bool
+	// Engine names the durability engine buffered subjects close epochs
+	// with (epoch.Config.Engine; "" = the default BDL engine).
+	Engine string
 	// OnAdvance is forwarded to epoch.Config.OnAdvance for buffered
 	// subjects; the engine snapshots its model there.
 	OnAdvance func(persisted uint64)

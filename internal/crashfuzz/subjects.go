@@ -78,7 +78,7 @@ func (s *bdhashSubject) MaxKeySpace() uint64    { return 1 << 40 }
 func (s *bdhashSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
 	s.build(env.TM())
 }
 
@@ -102,7 +102,7 @@ func (s *bdhashSubject) LiveBlocks() int64            { return s.sys.Allocator()
 func (s *bdhashSubject) Recover() (err error) {
 	defer recoverToErr("bdhash", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
 	s.build(s.env.TM())
 	for _, r := range recs {
@@ -130,7 +130,7 @@ func (s *vebSubject) MaxKeySpace() uint64    { return 1 << vebUniverseBits }
 func (s *vebSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
 	s.build(env.TM())
 }
 
@@ -154,7 +154,7 @@ func (s *vebSubject) LiveBlocks() int64           { return s.sys.Allocator().Liv
 func (s *vebSubject) Recover() (err error) {
 	defer recoverToErr("veb", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
 	s.build(s.env.TM())
 	for _, r := range recs {
@@ -187,7 +187,7 @@ func (s *skiplistSubject) MaxKeySpace() uint64    { return 1 << 40 }
 func (s *skiplistSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
 	s.build(env.TM())
 }
 
@@ -217,7 +217,7 @@ func (s *skiplistSubject) LiveBlocks() int64           { return s.sys.Allocator(
 func (s *skiplistSubject) Recover() (err error) {
 	defer recoverToErr("skiplist", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
 	s.build(s.env.TM())
 	for _, r := range recs {
@@ -243,7 +243,7 @@ func (s *spashSubject) MaxKeySpace() uint64    { return 1 << 40 }
 func (s *spashSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
 	s.build(env.TM())
 }
 
@@ -267,7 +267,7 @@ func (s *spashSubject) LiveBlocks() int64           { return s.sys.Allocator().L
 func (s *spashSubject) Recover() (err error) {
 	defer recoverToErr("spash", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
 	s.build(s.env.TM())
 	for _, r := range recs {

@@ -37,15 +37,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bdhtm/internal/durability"
 	"bdhtm/internal/nvm"
 	"bdhtm/internal/obs"
 	"bdhtm/internal/palloc"
 )
 
-// Durable root layout (word addresses within nvm.RootWords).
+// Durable root layout (word addresses within nvm.RootWords). The
+// durability layer owns the two words after the magic: the persisted
+// watermark (durability.WatermarkAddr) and the engine-identity word.
 const (
-	rootMagicAddr     nvm.Addr = 1
-	rootPersistedAddr nvm.Addr = 2
+	rootMagicAddr nvm.Addr = 1
 
 	rootMagic = 0xbd17eb0c0ffee001
 )
@@ -98,6 +100,12 @@ type Config struct {
 	// the epoch is published — deterministically modeling a flusher that
 	// caught up before the next advance.
 	Async bool
+	// Engine selects the durability engine that persists each closing
+	// epoch: "bdl" (default — the paper's buffered-durability epoch
+	// engine), "undo", "redo4f", "redo2f" or "quadra" (see package
+	// durability). Recovery must use the engine that formatted the
+	// heap; mixing them panics.
+	Engine string
 	// Obs, when non-nil, receives the epoch-advance phase timeline
 	// (quiesce/flush/root/reclaim durations plus per-shard fan-out
 	// timings), advance events, per-shard block-lifecycle counters, the
@@ -140,6 +148,17 @@ type Stats struct {
 	Backpressure int64 // advances that found the previous flush still in flight
 	AdvanceP99NS int64 // p99 of AdvanceOnce wall time, nanoseconds
 
+	// Durability-engine identity and self-accounting (Config.Engine;
+	// see durability.Accounting). EngineFences relates to EngineCommits
+	// by the engine's documented per-commit fence budget, plus the
+	// spill surcharge.
+	Engine         string
+	EngineCommits  int64
+	EngineFences   int64
+	EngineFlushes  int64
+	EngineLogWords int64
+	LogSpills      int64
+
 	// PerShard is the per-flusher-shard decomposition of the flushed /
 	// retired / freed totals (len == Shards; sums equal the aggregates).
 	PerShard []ShardCounters
@@ -168,6 +187,7 @@ type System struct {
 	heap  *nvm.Heap
 	alloc *palloc.Allocator
 	cfg   Config
+	eng   durability.Engine
 
 	global    atomic.Uint64 // active epoch
 	persisted atomic.Uint64 // newest fully persisted epoch (mirrors NVM root)
@@ -219,6 +239,11 @@ func newSystem(h *nvm.Heap, cfg Config) *System {
 	s.pendCond = sync.NewCond(&s.pendMu)
 	s.alloc.SetObs(cfg.Obs)
 	s.alloc.SetShards(cfg.Shards)
+	eng, err := durability.New(cfg.Engine, h, cfg.Shards, cfg.Obs)
+	if err != nil {
+		panic(err)
+	}
+	s.eng = eng
 	return s
 }
 
@@ -230,12 +255,15 @@ func New(h *nvm.Heap, cfg Config) *System {
 	s.global.Store(firstEpoch)
 	s.persisted.Store(firstEpoch - 2)
 	h.Store(rootMagicAddr, rootMagic)
-	h.Store(rootPersistedAddr, firstEpoch-2)
-	h.FlushRange(rootMagicAddr, 2)
+	s.eng.Format(firstEpoch - 2) // watermark + engine-identity words (+ log header)
+	h.FlushRange(rootMagicAddr, 3)
 	h.Fence()
 	s.startAdvancer()
 	return s
 }
+
+// Engine returns the durability engine persisting this system's epochs.
+func (s *System) Engine() durability.Engine { return s.eng }
 
 func (s *System) startAdvancer() {
 	if s.cfg.Async && !s.cfg.Manual {
@@ -375,6 +403,13 @@ func (s *System) Stats() Stats {
 	st.Resurrected = s.resurrected.Load()
 	st.RecoveredLive = s.recoveredLive.Load()
 	st.AdvanceP99NS = s.advHist.Snapshot().Quantile(0.99)
+	st.Engine = s.eng.Name()
+	a := s.eng.Accounting()
+	st.EngineCommits = a.Commits
+	st.EngineFences = a.Fences
+	st.EngineFlushes = a.Flushes
+	st.EngineLogWords = a.LogWords
+	st.LogSpills = a.Spills
 	return st
 }
 
@@ -503,9 +538,10 @@ func (s *System) finishAdvance(e uint64, t0 time.Time) {
 }
 
 // runTask persists epoch x: it waits for x to quiesce, collects every
-// worker's tracked blocks for x partitioned by flusher shard, fans the
-// write-backs out across the shards, durably advances the persisted
-// root to x, and reclaims x's retired blocks shard-locally. Callers
+// worker's tracked blocks for x partitioned by flusher shard, hands
+// them to the durability engine (which writes them back and durably
+// advances the watermark to x in its own discipline), and reclaims x's
+// retired blocks shard-locally. Callers
 // serialize tasks (advMu, or the flusher/pendEpoch hand-off protocol)
 // and guarantee x < the active epoch.
 func (s *System) runTask(x uint64) {
@@ -534,47 +570,56 @@ func (s *System) runTask(x uint64) {
 		buf.retire = buf.retire[:0]
 	}
 
-	// (3) Persist everything tracked in x: one flush batch per shard,
-	// in parallel when sharded, then a single combining fence. Skipped
-	// entirely under eADR, where every store is already durable.
+	// (3)+(4) Hand the epoch's tracked extents to the durability engine,
+	// which makes them and the watermark durable in its own discipline
+	// (for BDL: the per-shard write-back fan-out, one combining fence,
+	// and a flushed watermark bump — the engine also records the
+	// PhaseFlush/PhaseRoot samples at the matching points). Under eADR
+	// the engine is skipped entirely: every store is already durable and
+	// only the watermark word needs recording.
 	flushed := make([]int64, shards)
 	if !s.eadr() {
+		s.eng.Begin(x)
+		// Per-block header reads dominate collection, so fan the shard
+		// loops out like the flush itself; LogWrite is safe for distinct
+		// shards concurrently (it only appends to per-shard batches).
+		collect := func(sh int) {
+			for _, b := range persist[sh] {
+				hdr := s.alloc.ReadHeader(b)
+				s.eng.LogWrite(sh, nvm.Extent{Addr: b, Words: palloc.ClassWords(hdr.Class)}, false)
+			}
+			for _, b := range retire[sh] {
+				// Header word + delete-epoch word — 4-word block alignment
+				// keeps the pair on one line.
+				s.eng.LogWrite(sh, nvm.Extent{Addr: b, Words: 2}, true)
+			}
+			flushed[sh] = int64(len(persist[sh]))
+		}
 		if shards == 1 {
-			flushed[0] = s.flushShard(0, persist[0], retire[0])
+			collect(0)
 		} else {
 			var wg sync.WaitGroup
-			var firstPanic atomic.Pointer[any]
 			for sh := 0; sh < shards; sh++ {
 				wg.Add(1)
 				go func(sh int) {
 					defer wg.Done()
-					defer func() {
-						if r := recover(); r != nil {
-							firstPanic.CompareAndSwap(nil, &r)
-						}
-					}()
-					flushed[sh] = s.flushShard(sh, persist[sh], retire[sh])
+					collect(sh)
 				}(sh)
 			}
 			wg.Wait()
-			if p := firstPanic.Load(); p != nil {
-				// Re-raise the first crash-simulation panic on the task's
-				// own goroutine so crash harnesses can catch it.
-				panic(*p)
-			}
 		}
-		s.heap.Fence()
-	}
-	if o != nil {
-		t = o.Phase(obs.PhaseFlush, x, t)
-	}
-
-	// (4) Durably record that x has persisted.
-	s.heap.Store(rootPersistedAddr, x)
-	s.heap.Persist(rootPersistedAddr)
-	s.persisted.Store(x)
-	if o != nil {
-		t = o.Phase(obs.PhaseRoot, x, t)
+		s.eng.Commit()
+		s.persisted.Store(s.eng.Watermark())
+		t = o.Now()
+	} else {
+		if o != nil {
+			t = o.Phase(obs.PhaseFlush, x, t)
+		}
+		durability.StoreWatermark(s.heap, x)
+		s.persisted.Store(x)
+		if o != nil {
+			t = o.Phase(obs.PhaseRoot, x, t)
+		}
 	}
 
 	// (5) Blocks retired in x are now reclaimable: their DELETED markers
@@ -618,34 +663,6 @@ func (s *System) runTask(x uint64) {
 		}
 		o.Phase(obs.PhaseReclaim, x, t)
 	}
-}
-
-// flushShard writes back one shard's slice of epoch x's tracked blocks
-// in a single batch: full-block extents for persisted blocks and
-// header-line extents (header word + delete-epoch word — 4-word block
-// alignment keeps the pair on one line) for retired blocks. Returns the
-// persisted-block count. Recorded as one PhaseShardFlush sample per
-// task even when the shard had nothing to write, so sample counts stay
-// proportional to advances.
-func (s *System) flushShard(sh int, persist, retire []nvm.Addr) int64 {
-	o := s.cfg.Obs
-	t := o.Now()
-	exts := make([]nvm.Extent, 0, len(persist)+len(retire))
-	for _, b := range persist {
-		hdr := s.alloc.ReadHeader(b)
-		exts = append(exts, nvm.Extent{Addr: b, Words: palloc.ClassWords(hdr.Class)})
-	}
-	for _, b := range retire {
-		exts = append(exts, nvm.Extent{Addr: b, Words: 2})
-	}
-	s.heap.FlushExtents(exts)
-	if o != nil {
-		if n := int64(len(persist)); n != 0 {
-			o.MetricAdd(obs.MFlushedBlocks, uint64(sh), n)
-		}
-		o.Phase(obs.PhaseShardFlush, uint64(sh), t)
-	}
-	return int64(len(persist))
 }
 
 // waitQuiesce spins until no worker is announced in epoch target.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"bdhtm/internal/durability"
 	"bdhtm/internal/htm"
 	"bdhtm/internal/nvm"
 	"bdhtm/internal/palloc"
@@ -378,7 +379,7 @@ func TestBDLPrefixConsistency(t *testing.T) {
 			EvictFraction: float64(rng.Uint64N(101)) / 100,
 			Seed:          rng.Uint64() | 1,
 		})
-		p := h.Load(rootPersistedAddr)
+		p := h.Load(durability.WatermarkAddr)
 		want, ok := snaps[p]
 		if !ok {
 			t.Fatalf("trial %d: no snapshot for persisted epoch %d", trial, p)

@@ -41,16 +41,20 @@ type BlockRecord struct {
 // all ALLOCATED blocks are recovered regardless of epoch.
 //
 // The returned system starts a fresh epoch strictly above every recovered
-// epoch. Recover panics if the heap was never formatted by New.
+// epoch. Recover panics if the heap was never formatted by New, or if
+// cfg.Engine differs from the engine that formatted it.
 func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 	cfg = cfg.withDefaults()
 	if h.Load(rootMagicAddr) != rootMagic {
 		panic(fmt.Sprintf("epoch: heap not formatted (magic %#x)", h.Load(rootMagicAddr)))
 	}
-	p := h.Load(rootPersistedAddr)
 	eadr := h.Mode() == nvm.ModeEADR
 
 	s := newSystem(h, cfg)
+	// The engine repairs the persistent image first — rolling back or
+	// replaying any commit its discipline left interrupted — and supplies
+	// the watermark P the header judgment below is made against.
+	p := s.eng.Recover()
 	s.global.Store(p + 2)
 	s.persisted.Store(p)
 
@@ -102,9 +106,7 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 	})
 	h.Fence()
 
-	// Re-persist the root under the new numbering and resume.
-	h.Store(rootPersistedAddr, p)
-	h.Persist(rootPersistedAddr)
+	// The watermark was already re-persisted by the engine's Recover.
 	if cfg.Obs != nil {
 		cfg.Obs.Hit(obs.MRecoveries, obs.EvRecover, p, uint64(s.recoveredLive.Load()))
 	}

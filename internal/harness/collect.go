@@ -156,6 +156,9 @@ func buildRow(c *Collector, inst *Instance, wl Workload, res Result, base statsB
 			UsefulBytes:        d.UsefulBytes,
 			WriteAmplification: d.WriteAmplification(),
 		}
+		if res.Ops > 0 {
+			row.NVM.FencesPerOp = float64(d.Fences) / float64(res.Ops)
+		}
 	}
 	if inst.EpochStats != nil {
 		e := inst.EpochStats()
@@ -168,6 +171,11 @@ func buildRow(c *Collector, inst *Instance, wl Workload, res Result, base statsB
 			Async:         e.Async,
 			AdvanceP99NS:  e.AdvanceP99NS,
 			Backpressure:  e.Backpressure - base.epoch.Backpressure,
+			Engine:        e.Engine,
+			EngineCommits: e.EngineCommits - base.epoch.EngineCommits,
+			EngineFences:  e.EngineFences - base.epoch.EngineFences,
+			EngineFlushes: e.EngineFlushes - base.epoch.EngineFlushes,
+			LogSpills:     e.LogSpills - base.epoch.LogSpills,
 		}
 		if len(e.PerShard) == len(base.epoch.PerShard) || len(base.epoch.PerShard) == 0 {
 			for i, ps := range e.PerShard {

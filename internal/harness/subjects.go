@@ -47,6 +47,9 @@ type Opts struct {
 	// AsyncAdvance pipelines epoch advancement: the flush of the closing
 	// epoch overlaps execution of the next one.
 	AsyncAdvance bool
+	// Engine selects the durability engine for buffered-durable subjects
+	// ("" = the default BDL epoch engine; see durability.Names).
+	Engine string
 }
 
 func (o Opts) withDefaults() Opts {
@@ -106,6 +109,7 @@ func (o Opts) epochCfg() epoch.Config {
 		Manual:      o.Manual,
 		Shards:      o.EpochShards,
 		Async:       o.AsyncAdvance,
+		Engine:      o.Engine,
 		Obs:         o.Obs,
 	}
 }

@@ -297,35 +297,44 @@ func (d *Desc) help(v uint64) {
 	fullSeq := h.Load(desc + descSeqOff)
 	ptr := markedPtr(desc, seq)
 
-	status := stSucceeded
-install:
-	for _, e := range es {
-		for {
-			if h.Load(desc+descSeqOff) != fullSeq {
-				return // owner moved on; nothing left to help
-			}
-			if h.CompareAndSwap(e.Addr, e.Old, ptr) {
-				d.flush(e.Addr)
+	// Only run phase 1 while the operation is still undecided. A decided
+	// descriptor's pointer can linger in a word (a stalled helper may
+	// reinstall it after the decision — the protocol's accepted ABA), and
+	// re-running installation for it would try to claim words now owned
+	// by live operations: two such descriptors each holding a word the
+	// other's entry list names would make help() recurse between them
+	// forever. A decided operation only needs its pointers removed.
+	if st := h.Load(desc + descStatusOff); st>>8 == fullSeq && st&0xff == stUndecided {
+		status := stSucceeded
+	install:
+		for _, e := range es {
+			for {
+				if h.Load(desc+descSeqOff) != fullSeq {
+					return // owner moved on; nothing left to help
+				}
+				if h.CompareAndSwap(e.Addr, e.Old, ptr) {
+					d.flush(e.Addr)
+					break
+				}
+				cur := h.Load(e.Addr)
+				switch {
+				case cur == ptr:
+					break
+				case isMarked(cur):
+					d.help(cur)
+					continue
+				case cur != e.Old:
+					status = stFailed
+					break install
+				default:
+					continue
+				}
 				break
 			}
-			cur := h.Load(e.Addr)
-			switch {
-			case cur == ptr:
-				break
-			case isMarked(cur):
-				d.help(cur)
-				continue
-			case cur != e.Old:
-				status = stFailed
-				break install
-			default:
-				continue
-			}
-			break
 		}
+		h.CompareAndSwap(desc+descStatusOff, fullSeq<<8|stUndecided, fullSeq<<8|status)
+		d.flush(desc + descStatusOff)
 	}
-	h.CompareAndSwap(desc+descStatusOff, fullSeq<<8|stUndecided, fullSeq<<8|status)
-	d.flush(desc + descStatusOff)
 	st := h.Load(desc + descStatusOff)
 	if st>>8 != fullSeq {
 		return

@@ -256,3 +256,55 @@ func TestDescEmptyApply(t *testing.T) {
 		t.Fatal("empty Apply should trivially succeed")
 	}
 }
+
+// TestHelpDecidedDescriptorTerminates pins the helping-cycle fix: a
+// decided descriptor whose pointer still sits in a word (the accepted
+// ABA — a stalled helper reinstalled it after the decision) must not be
+// re-installed by help(). Before the status check in help(), this state
+// made two helpers recurse into each other until the stack overflowed:
+// helping the decided descriptor re-ran phase 1, hit the live
+// descriptor's pointer in its first word, helped it, which hit the
+// decided descriptor's pointer in its second word, and so on.
+func TestHelpDecidedDescriptorTerminates(t *testing.T) {
+	a := newArena(1 << 12)
+	h := a.h
+	d := NewDesc(h, false, 2, a.alloc)
+	w1, w2 := a.alloc(1), a.alloc(1)
+
+	fill := func(desc nvm.Addr, seq, state uint64, es []Entry) uint64 {
+		h.Store(desc+descSeqOff, seq)
+		h.Store(desc+descStatusOff, seq<<8|state)
+		h.Store(desc+descCountOff, uint64(len(es)))
+		for i, e := range es {
+			base := desc + descEntryOff + nvm.Addr(i*3)
+			h.Store(base, uint64(e.Addr))
+			h.Store(base+1, e.Old)
+			h.Store(base+2, e.New)
+		}
+		return markedPtr(desc, seq)
+	}
+
+	// Descriptor B: decided SUCCEEDED over {w1: 1→11, w2: 2→12}; phase 3
+	// already swapped w1 to 11, but its pointer still occupies w2.
+	ptrB := fill(d.descs[1], 2, stSucceeded,
+		[]Entry{{Addr: w1, Old: 1, New: 11}, {Addr: w2, Old: 2, New: 12}})
+	// Descriptor A: live and undecided over {w1: 11→21, w2: 12→22},
+	// installed at w1, blocked on w2 (held by B's stale pointer).
+	ptrA := fill(d.descs[0], 2, stUndecided,
+		[]Entry{{Addr: w1, Old: 11, New: 21}, {Addr: w2, Old: 12, New: 22}})
+	h.Store(w1, ptrA)
+	h.Store(w2, ptrB)
+
+	// Reading w2 helps B; B is decided, so help must only remove the
+	// pointer (w2 → 12), never re-run installation.
+	if got := d.Read(w2); got != 12 {
+		t.Fatalf("Read(w2) after helping decided descriptor = %d, want 12", got)
+	}
+	// Reading w1 helps A, which can now finish: install w2, decide, swap.
+	if got := d.Read(w1); got != 21 {
+		t.Fatalf("Read(w1) after helping live descriptor = %d, want 21", got)
+	}
+	if got := d.Read(w2); got != 22 {
+		t.Fatalf("w2 after A completed = %d, want 22", got)
+	}
+}

@@ -172,6 +172,15 @@ const (
 	MRetiredBlocks // blocks retired (PRetire) awaiting reclamation
 	MFreedBlocks   // retired blocks reclaimed after their epoch persisted
 
+	// Durability-engine self-accounting (appended; enum order is part
+	// of the trace format). The engine bumps these for every fence and
+	// flush it issues on the epoch-close path, so per-engine fence
+	// budgets are checkable against the heap-level MFences/MFlushes.
+	MEngineCommits // epoch-close commits executed by the durability engine
+	MEngineFences  // fences issued by the durability engine
+	MEngineFlushes // flush operations issued by the durability engine (lane = shard)
+	MLogSpills     // log-overflow segments sealed mid-commit
+
 	NumMetrics
 )
 
@@ -199,6 +208,14 @@ func (m Metric) String() string {
 		return "retired-blocks"
 	case MFreedBlocks:
 		return "freed-blocks"
+	case MEngineCommits:
+		return "engine-commits"
+	case MEngineFences:
+		return "engine-fences"
+	case MEngineFlushes:
+		return "engine-flushes"
+	case MLogSpills:
+		return "log-spills"
 	default:
 		return fmt.Sprintf("Metric(%d)", uint8(m))
 	}

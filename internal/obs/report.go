@@ -31,6 +31,9 @@ type RunConfig struct {
 	Threads    []int  `json:"threads"`
 	Latency    bool   `json:"latency_model"`
 	Full       bool   `json:"full"`
+	// Engine is the durability engine the run was pinned to ("" means
+	// the per-experiment default; the engines experiment sweeps them).
+	Engine string `json:"engine,omitempty"`
 }
 
 // NewReport creates an empty report for the given configuration.
@@ -134,6 +137,10 @@ type NVMSummary struct {
 	MediaBytes         int64   `json:"media_bytes"`
 	UsefulBytes        int64   `json:"useful_bytes"`
 	WriteAmplification float64 `json:"write_amplification"`
+	// FencesPerOp is total heap fences divided by completed operations —
+	// the headline persist-cost figure the durability engines trade on
+	// (omitted by rows produced before pluggable engines existed).
+	FencesPerOp float64 `json:"fences_per_op,omitempty"`
 }
 
 // EpochSummary is the epoch system's background activity.
@@ -154,6 +161,15 @@ type EpochSummary struct {
 	// present its length equals Shards and its columns sum to the
 	// aggregates above.
 	PerShard []EpochShardSummary `json:"per_shard,omitempty"`
+
+	// Durability-engine accounting (omitted by rows produced before
+	// pluggable engines existed). EngineFences counts only the fences the
+	// engine itself issued at epoch close, a subset of NVMSummary.Fences.
+	Engine        string `json:"engine,omitempty"`
+	EngineCommits int64  `json:"engine_commits,omitempty"`
+	EngineFences  int64  `json:"engine_fences,omitempty"`
+	EngineFlushes int64  `json:"engine_flushes,omitempty"`
+	LogSpills     int64  `json:"log_spills,omitempty"`
 }
 
 // EpochShardSummary is one flusher shard's slice of the epoch counters.
@@ -223,6 +239,9 @@ func ValidateReport(data []byte) error {
 			if n.WriteAmplification < 1 {
 				return fmt.Errorf("%s: write amplification %f < 1", where, n.WriteAmplification)
 			}
+			if n.FencesPerOp < 0 {
+				return fmt.Errorf("%s: fences per op %f < 0", where, n.FencesPerOp)
+			}
 		}
 		if e := row.Epoch; e != nil {
 			if e.Advances < 0 || e.FlushedBlocks < 0 || e.RetiredBlocks < 0 || e.FreedBlocks < 0 {
@@ -233,6 +252,9 @@ func ValidateReport(data []byte) error {
 			}
 			if e.Shards < 0 || e.Backpressure < 0 || e.AdvanceP99NS < 0 {
 				return fmt.Errorf("%s: negative epoch pipeline fields", where)
+			}
+			if e.EngineCommits < 0 || e.EngineFences < 0 || e.EngineFlushes < 0 || e.LogSpills < 0 {
+				return fmt.Errorf("%s: negative engine counters", where)
 			}
 			if len(e.PerShard) > 0 {
 				if e.Shards != len(e.PerShard) {
