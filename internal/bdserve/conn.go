@@ -1,0 +1,260 @@
+package bdserve
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"bdhtm/internal/obs"
+	"bdhtm/internal/wire"
+)
+
+// outMsg is one frame queued for the writer. seq orders a write op's
+// applied ack against its durable ack: the durable drain only releases
+// a pending entry once the writer has written the applied ack with the
+// same seq (trivially satisfied in sync mode, where seq is 0 and no
+// applied ack exists). closeAfter makes the writer flush and tear the
+// connection down after this frame (protocol-error farewells).
+type outMsg struct {
+	m          wire.Msg
+	seq        uint64
+	closeAfter bool
+}
+
+// pendingAck is one write op waiting for its epoch to persist. Entries
+// are appended in completion order by the reader, and per connection the
+// commit epochs are non-decreasing (the global epoch never moves
+// backwards), so the acker only ever drains a prefix.
+type pendingAck struct {
+	id    uint64
+	ok    bool
+	epoch uint64
+	seq   uint64
+}
+
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	sess session
+
+	respCh     chan outMsg
+	durCh      chan struct{} // coalescing doorbell from the durable watermark
+	writerGone chan struct{} // closed when the writer exits
+
+	ackMu   sync.Mutex
+	pending []pendingAck
+
+	seq      uint64       // write-op sequence (reader-only writes)
+	inflight atomic.Int64 // this conn's share of the inflight gauge
+}
+
+// pokeDurable is the coalescing wake from the server's notify loop.
+func (c *conn) pokeDurable() {
+	select {
+	case c.durCh <- struct{}{}:
+	default:
+	}
+}
+
+func (c *conn) bumpInflight(d int64) {
+	c.inflight.Add(d)
+	c.srv.gauge(obs.GServeInflight, c.srv.inflight.Add(d))
+}
+
+// send hands a frame to the writer. If the writer has already exited
+// (dead socket) the frame is dropped — nobody is listening.
+func (c *conn) send(m outMsg) {
+	select {
+	case c.respCh <- m:
+	case <-c.writerGone:
+	}
+}
+
+// readLoop decodes and executes requests. Execution happens here, on
+// the connection's own goroutine, inside HTM transactions on the
+// connection's private epoch worker; only socket writes are delegated
+// to the writer.
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	srv := c.srv
+	r := wire.NewReader(c.nc)
+	lane := uint64(srv.conns64.Load()) % obs.NumShards
+	for {
+		m, err := r.Read()
+		if err != nil {
+			if wire.IsProtocol(err) && !srv.isClosed() {
+				// The peer spoke garbage: farewell frame, then close. ID 0
+				// because the stream is broken and the offending request's
+				// ID is unknowable.
+				srv.protoErrors.Add(1)
+				c.send(outMsg{m: wire.Msg{
+					Type: wire.RespError, Code: wire.ECodeProto, Text: err.Error(),
+				}, closeAfter: true})
+			} else {
+				// Clean EOF, or our own teardown: close quietly. Closing
+				// respCh still delivers the frames already buffered, then
+				// stops the writer.
+				c.nc.Close()
+				close(c.respCh)
+			}
+			return
+		}
+		if !m.Type.IsRequest() {
+			srv.protoErrors.Add(1)
+			c.send(outMsg{m: wire.Msg{
+				Type: wire.RespError, ID: m.ID, Code: wire.ECodeOrder,
+				Text: "response frame " + m.Type.String() + " sent to server",
+			}, closeAfter: true})
+			return
+		}
+		srv.requests.Add(1)
+		srv.metric(obs.MServeReqs, lane, 1)
+		c.bumpInflight(1)
+		switch m.Type {
+		case wire.CmdGet:
+			v, found := c.sess.Get(m.Key)
+			c.bumpInflight(-1)
+			c.send(outMsg{m: wire.Msg{Type: wire.RespValue, ID: m.ID, Found: found, Value: v}})
+		case wire.CmdScan:
+			// Wire-level stub: the scan op exists in the protocol and the
+			// workloads (YCSB E), but returns no entries yet.
+			c.bumpInflight(-1)
+			c.send(outMsg{m: wire.Msg{Type: wire.RespScan, ID: m.ID, Count: 0}})
+		case wire.CmdPut, wire.CmdDel:
+			var ok bool
+			if m.Type == wire.CmdPut {
+				ok = c.sess.Put(m.Key, m.Value)
+			} else {
+				ok = c.sess.Del(m.Key)
+			}
+			ep := c.sess.Epoch()
+			srv.writeCommits.Add(1)
+			seq := uint64(0)
+			if !srv.cfg.SyncAcks {
+				c.seq++
+				seq = c.seq
+			}
+			// Enqueue for the durable ack FIRST, then send the applied
+			// ack: the durable drain gates on seq <= appliedDone, so the
+			// durable frame can never overtake its applied frame even
+			// though it is queued earlier.
+			c.ackMu.Lock()
+			c.pending = append(c.pending, pendingAck{id: m.ID, ok: ok, epoch: ep, seq: seq})
+			c.ackMu.Unlock()
+			srv.gauge(obs.GServeAckQueue, srv.ackQueue.Add(1))
+			if !srv.cfg.SyncAcks {
+				c.send(outMsg{m: wire.Msg{Type: wire.RespApplied, ID: m.ID, OK: ok, Epoch: ep}, seq: seq})
+			}
+			// Always poke: the watermark may already have passed ep (the
+			// epoch can persist between the op's commit and this enqueue),
+			// in which case no future advance will wake this connection.
+			c.pokeDurable()
+		}
+	}
+}
+
+// writeLoop owns the socket's write side: immediate responses arrive on
+// respCh, and durable-watermark wakes on durCh trigger the group-commit
+// drain. Frames are buffered and flushed once per quiet point, so a
+// single watermark movement acks a whole epoch's ops with one syscall.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer c.srv.dropConn(c)
+	defer close(c.writerGone)
+	w := wire.NewWriter(c.nc)
+	var appliedDone uint64 // highest applied-ack seq actually written
+	dirty := false
+	for {
+		var m outMsg
+		var ok bool
+		if dirty {
+			// Opportunistically batch: block only once the buffer is
+			// flushed.
+			select {
+			case m, ok = <-c.respCh:
+			case <-c.durCh:
+				if !c.drainDurable(w, appliedDone) {
+					return
+				}
+				continue
+			default:
+				if w.Flush() != nil {
+					return
+				}
+				dirty = false
+				continue
+			}
+		} else {
+			select {
+			case m, ok = <-c.respCh:
+			case <-c.durCh:
+				if !c.drainDurable(w, appliedDone) {
+					return
+				}
+				if w.Flush() != nil {
+					return
+				}
+				continue
+			}
+		}
+		if !ok {
+			w.Flush()
+			return
+		}
+		if err := w.Write(&m.m); err != nil {
+			return
+		}
+		dirty = true
+		if m.m.Type == wire.RespApplied {
+			c.srv.appliedAcks.Add(1)
+			c.srv.metric(obs.MServeAppliedAcks, 0, 1)
+			c.bumpInflight(-1)
+			if m.seq > appliedDone {
+				appliedDone = m.seq
+			}
+			// The applied ack may unblock a durable ack whose wake was
+			// already consumed; re-check.
+			if !c.drainDurable(w, appliedDone) {
+				return
+			}
+		}
+		if m.closeAfter {
+			w.Flush()
+			c.nc.Close()
+			return
+		}
+	}
+}
+
+// drainDurable is the group-commit acker: it re-reads the durable
+// watermark and writes RespDurable for every pending prefix entry whose
+// commit epoch has persisted and whose applied ack (if any) has been
+// written. Returns false on a dead socket.
+func (c *conn) drainDurable(w *wire.Writer, appliedDone uint64) bool {
+	srv := c.srv
+	watermark := srv.sys.PersistedEpoch()
+	for {
+		c.ackMu.Lock()
+		if len(c.pending) == 0 {
+			c.ackMu.Unlock()
+			return true
+		}
+		p := c.pending[0]
+		if p.epoch > watermark || (!srv.cfg.SyncAcks && p.seq > appliedDone) {
+			c.ackMu.Unlock()
+			return true
+		}
+		c.pending = c.pending[1:]
+		c.ackMu.Unlock()
+		if err := w.Write(&wire.Msg{Type: wire.RespDurable, ID: p.id, OK: p.ok, Epoch: p.epoch}); err != nil {
+			return false
+		}
+		srv.durableAcks.Add(1)
+		srv.metric(obs.MServeDurableAcks, 0, 1)
+		srv.gauge(obs.GServeAckQueue, srv.ackQueue.Add(-1))
+		srv.bumpAckLag(int64(watermark - p.epoch))
+		if srv.cfg.SyncAcks {
+			c.bumpInflight(-1)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+// Package bdserve is the networked KV service over the buffered-durable
+// substrate: a TCP server exposing bdhash (or the BDL skiplist) through
+// the internal/wire protocol, with per-connection goroutines running HTM
+// transactions and a group-commit acker that rides the epoch system's
+// durable watermark.
+//
+// The ack state machine is the service-level face of buffered
+// durability. A write op (PUT/DEL) commits its HTM transaction at memory
+// speed and is immediately acked *applied* (RespApplied, carrying the
+// op's exact commit epoch). The op's durability then arrives for free:
+// when the epoch system advances and the durability engine's watermark
+// reaches the op's commit epoch, the acker flushes a *durable* ack
+// (RespDurable) — one watermark movement acks every op of that epoch on
+// every connection, the group commit. In -sync mode the applied ack is
+// suppressed and the client hears nothing until durability, which is
+// exactly the synchronous-persistence discipline the paper's buffered
+// mode is measured against.
+//
+// A client that has seen RespDurable for an op is guaranteed the op
+// survives any crash: the durable ack is emitted only after the engine's
+// watermark (re-read at ack time, never cached) covers the op's epoch,
+// and recovery restores at least that watermark. Ops acked only
+// *applied* may be lost wholesale by a crash — but never torn, and never
+// out of order within the epoch structure (the crashfuzz window checker
+// is the test-side proof).
+package bdserve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bdhtm/internal/bdhash"
+	"bdhtm/internal/epoch"
+	"bdhtm/internal/htm"
+	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
+	"bdhtm/internal/skiplist"
+	"bdhtm/internal/wire"
+)
+
+// Config shapes one server instance.
+type Config struct {
+	// Structure selects the store: "bdhash" (default) or "skiplist".
+	Structure string
+	// KeySpace sizes the structure (and bounds Dump sweeps).
+	KeySpace uint64
+	// HeapWords sizes the simulated NVM heap (default derived from
+	// KeySpace, 32 words per key, min 1<<16).
+	HeapWords int
+	// EpochLength is the background advance cadence (ignored if Manual).
+	EpochLength time.Duration
+	// Manual disables the background advancer; tests drive
+	// System().AdvanceOnce() themselves for deterministic scripts.
+	Manual bool
+	// Shards / Async / Engine configure the persistence pipeline,
+	// forwarded to epoch.Config.
+	Shards int
+	Async  bool
+	Engine string
+	// SyncAcks suppresses applied acks: every write is acked only once,
+	// when durable (the -sync server flag).
+	SyncAcks bool
+	// MaxSessions bounds concurrently served connections (default 64).
+	MaxSessions int
+	// Obs receives service counters and gauges (nil disables).
+	Obs *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Structure == "" {
+		c.Structure = "bdhash"
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 1 << 12
+	}
+	if c.HeapWords == 0 {
+		c.HeapWords = int(c.KeySpace) * 32
+		if c.HeapWords < 1<<16 {
+			c.HeapWords = 1 << 16
+		}
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	return c
+}
+
+func (c Config) epochCfg() epoch.Config {
+	return epoch.Config{
+		EpochLength: c.EpochLength,
+		Manual:      c.Manual,
+		Shards:      c.Shards,
+		Async:       c.Async,
+		Engine:      c.Engine,
+		Obs:         c.Obs,
+		MaxWorkers:  c.MaxSessions + 8,
+	}
+}
+
+// session is one connection's handle onto the store: a private epoch
+// worker, so HTM transactions from different connections proceed
+// concurrently. Epoch returns the exact commit epoch of the session's
+// last completed write.
+type session interface {
+	Put(k, v uint64) bool
+	Del(k uint64) bool
+	Get(k uint64) (uint64, bool)
+	Epoch() uint64
+}
+
+// store is the structure behind the sessions plus its recovery hooks.
+type store interface {
+	NewSession() session
+	Rebuild(r epoch.BlockRecord)
+}
+
+// --- bdhash store ---
+
+type hashStore struct {
+	tab *bdhash.Table
+	sys *epoch.System
+}
+
+type hashSession struct {
+	s *hashStore
+	w *epoch.Worker
+}
+
+func (s *hashStore) NewSession() session          { return &hashSession{s: s, w: s.sys.Register()} }
+func (s *hashStore) Rebuild(r epoch.BlockRecord)  { s.tab.RebuildBlock(r) }
+func (h *hashSession) Put(k, v uint64) bool       { return h.s.tab.Insert(h.w, k, v) }
+func (h *hashSession) Del(k uint64) bool          { return h.s.tab.Remove(h.w, k) }
+func (h *hashSession) Get(k uint64) (uint64, bool) { return h.s.tab.Get(k) }
+func (h *hashSession) Epoch() uint64              { return h.w.OpEpoch() }
+
+// --- skiplist store ---
+
+type listStore struct {
+	list *skiplist.List
+}
+
+type listSession struct {
+	h *skiplist.Handle
+}
+
+func (s *listStore) NewSession() session          { return &listSession{h: s.list.NewHandle()} }
+func (s *listStore) Rebuild(r epoch.BlockRecord)  { s.list.RebuildBlock(r) }
+func (h *listSession) Put(k, v uint64) bool       { return h.h.Insert(k, v) }
+func (h *listSession) Del(k uint64) bool          { return h.h.Remove(k) }
+func (h *listSession) Get(k uint64) (uint64, bool) { return h.h.Get(k) }
+func (h *listSession) Epoch() uint64              { return h.h.Worker().OpEpoch() }
+
+// Counters is a point-in-time snapshot of the server's service-layer
+// accounting, for tests and the stats endpoint.
+type Counters struct {
+	Conns        int64 // connections accepted, lifetime
+	Requests     int64 // request frames dispatched
+	WriteCommits int64 // PUT/DEL transactions committed
+	AppliedAcks  int64 // RespApplied frames written
+	DurableAcks  int64 // RespDurable frames written
+	ProtoErrors  int64 // connections torn down on protocol errors
+	MaxAckLag    int64 // worst (watermark − commit epoch) seen at durable ack
+
+	OpenConns int64 // gauge: currently open connections
+	Inflight  int64 // gauge: requests decoded, first response not yet written
+	AckQueue  int64 // gauge: write ops applied, durable ack not yet written
+}
+
+// Server is one bdserve instance.
+type Server struct {
+	cfg  Config
+	heap *nvm.Heap
+	sys  *epoch.System
+	tm   *htm.TM
+	st   store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	sessions []session // free pool; sessions outlive connections
+	nSess    int
+	closed   bool
+
+	wg        sync.WaitGroup
+	notifyCh  chan uint64
+	cancelSub func()
+
+	conns64      atomic.Int64
+	requests     atomic.Int64
+	writeCommits atomic.Int64
+	appliedAcks  atomic.Int64
+	durableAcks  atomic.Int64
+	protoErrors  atomic.Int64
+	maxAckLag    atomic.Int64
+	openConns    atomic.Int64
+	inflight     atomic.Int64
+	ackQueue     atomic.Int64
+}
+
+// New formats a fresh heap and starts a server (not yet listening; call
+// Serve or Start).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	heap := nvm.New(nvm.Config{Words: cfg.HeapWords})
+	sys := epoch.New(heap, cfg.epochCfg())
+	return build(cfg, heap, sys, nil)
+}
+
+// Recover brings a server back up on a crashed heap: the epoch system
+// replays the durability engine's image and every surviving block is
+// rebuilt into a fresh structure. The heap must have been formatted by a
+// server with a compatible Config (same Engine).
+func Recover(heap *nvm.Heap, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	var recs []epoch.BlockRecord
+	sys := epoch.Recover(heap, cfg.epochCfg(), func(r epoch.BlockRecord) {
+		recs = append(recs, r)
+	})
+	return build(cfg, heap, sys, recs)
+}
+
+func build(cfg Config, heap *nvm.Heap, sys *epoch.System, recs []epoch.BlockRecord) *Server {
+	s := &Server{
+		cfg:      cfg,
+		heap:     heap,
+		sys:      sys,
+		tm:       htm.New(htm.Config{}),
+		conns:    map[*conn]struct{}{},
+		notifyCh: make(chan uint64, 1),
+	}
+	switch cfg.Structure {
+	case "bdhash":
+		s.st = &hashStore{tab: bdhash.New(sys, s.tm, int(cfg.KeySpace), 1), sys: sys}
+	case "skiplist":
+		dram := nvm.New(nvm.Config{Words: cfg.HeapWords, Mode: nvm.ModeDRAM})
+		s.st = &listStore{list: skiplist.New(skiplist.Config{
+			Variant:   skiplist.BDL,
+			IndexHeap: dram,
+			DataSys:   sys,
+			TM:        s.tm,
+			Threads:   cfg.MaxSessions + 8,
+		})}
+	default:
+		panic(fmt.Sprintf("bdserve: unknown structure %q", cfg.Structure))
+	}
+	for _, r := range recs {
+		s.st.Rebuild(r)
+	}
+	s.cancelSub = sys.SubscribeDurable(s.notifyCh)
+	s.wg.Add(1)
+	go s.notifyLoop()
+	return s
+}
+
+// notifyLoop fans each durable-watermark wake out to every open
+// connection's acker. Sends are non-blocking (each conn's durable
+// channel is a coalescing doorbell).
+func (s *Server) notifyLoop() {
+	defer s.wg.Done()
+	for range s.notifyCh {
+		s.mu.Lock()
+		for c := range s.conns {
+			c.pokeDurable()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// System exposes the epoch system (tests drive AdvanceOnce in Manual
+// mode and read the watermark).
+func (s *Server) System() *epoch.System { return s.sys }
+
+// Heap exposes the NVM heap (crash tests hand it to Recover).
+func (s *Server) Heap() *nvm.Heap { return s.heap }
+
+// Stats snapshots the service counters and gauges.
+func (s *Server) Stats() Counters {
+	return Counters{
+		Conns:        s.conns64.Load(),
+		Requests:     s.requests.Load(),
+		WriteCommits: s.writeCommits.Load(),
+		AppliedAcks:  s.appliedAcks.Load(),
+		DurableAcks:  s.durableAcks.Load(),
+		ProtoErrors:  s.protoErrors.Load(),
+		MaxAckLag:    s.maxAckLag.Load(),
+		OpenConns:    s.openConns.Load(),
+		Inflight:     s.inflight.Load(),
+		AckQueue:     s.ackQueue.Load(),
+	}
+}
+
+// Dump reads the store back through Get over [0, keyspace), the
+// post-recovery state the crashfuzz window checker consumes.
+func (s *Server) Dump(keyspace uint64) map[uint64]uint64 {
+	sess := s.takeSession()
+	defer s.putSession(sess)
+	m := make(map[uint64]uint64)
+	for k := uint64(0); k < keyspace; k++ {
+		if v, ok := sess.Get(k); ok {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+// Start listens on addr and serves in the background, returning the
+// bound address (use "127.0.0.1:0" in tests).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Close (or Crash). It returns
+// nil on clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("bdserve: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+func (s *Server) startConn(nc net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	sess := s.takeSessionLocked()
+	if sess == nil {
+		s.mu.Unlock()
+		// Over MaxSessions: refuse politely and close.
+		w := wire.NewWriter(nc)
+		w.Write(&wire.Msg{Type: wire.RespError, Code: wire.ECodeServer, Text: "server at connection capacity"})
+		w.Flush()
+		nc.Close()
+		return
+	}
+	c := &conn{
+		srv:        s,
+		nc:         nc,
+		sess:       sess,
+		respCh:     make(chan outMsg, 256),
+		durCh:      make(chan struct{}, 1),
+		writerGone: make(chan struct{}),
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+
+	s.conns64.Add(1)
+	s.gauge(obs.GServeConns, s.openConns.Add(1))
+	s.metric(obs.MServeConns, 0, 1)
+
+	s.wg.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+func (s *Server) takeSession() session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.takeSessionLocked()
+}
+
+func (s *Server) takeSessionLocked() session {
+	if n := len(s.sessions); n > 0 {
+		sess := s.sessions[n-1]
+		s.sessions = s.sessions[:n-1]
+		return sess
+	}
+	if s.nSess >= s.cfg.MaxSessions {
+		return nil
+	}
+	s.nSess++
+	return s.st.NewSession()
+}
+
+func (s *Server) putSession(sess session) {
+	s.mu.Lock()
+	s.sessions = append(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	_, live := s.conns[c]
+	delete(s.conns, c)
+	if live {
+		s.sessions = append(s.sessions, c.sess)
+	}
+	s.mu.Unlock()
+	if live {
+		s.gauge(obs.GServeConns, s.openConns.Add(-1))
+		// Whatever this connection still owed (unanswered requests,
+		// unflushed durable acks) dies with it; the gauges must not leak.
+		c.ackMu.Lock()
+		orphaned := int64(len(c.pending))
+		c.pending = nil
+		c.ackMu.Unlock()
+		if orphaned > 0 {
+			s.gauge(obs.GServeAckQueue, s.ackQueue.Add(-orphaned))
+		}
+		if inflight := c.inflight.Swap(0); inflight > 0 {
+			s.gauge(obs.GServeInflight, s.inflight.Add(-inflight))
+		}
+	}
+}
+
+// Close stops accepting, tears down connections, and stops the epoch
+// system cleanly (remaining buffered epochs are flushed by Stop's final
+// advances).
+func (s *Server) Close() {
+	s.shutdownNet()
+	s.sys.Stop()
+}
+
+// Crash simulates a power failure: network torn down, then the epoch
+// system stops and the heap loses everything that was not persisted.
+// Recover(srv.Heap(), cfg) brings the survivors back.
+func (s *Server) Crash(opts nvm.CrashOptions) {
+	s.shutdownNet()
+	s.sys.SimulateCrash(opts)
+}
+
+func (s *Server) shutdownNet() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	var conns []*conn
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.cancelSub()
+	close(s.notifyCh)
+	s.wg.Wait()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) metric(m obs.Metric, lane uint64, delta int64) {
+	s.cfg.Obs.MetricAdd(m, lane, delta)
+}
+
+func (s *Server) gauge(g obs.GaugeID, v int64) {
+	s.cfg.Obs.SetGauge(g, v)
+}
+
+func (s *Server) bumpAckLag(lag int64) {
+	for {
+		cur := s.maxAckLag.Load()
+		if lag <= cur || s.maxAckLag.CompareAndSwap(cur, lag) {
+			return
+		}
+	}
+}

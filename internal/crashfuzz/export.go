@@ -1,0 +1,31 @@
+package crashfuzz
+
+// Op is the exported form of one completed write in a history, for
+// callers outside this package (the bdserve durability tests) that want
+// the epoch-cut consistency check against their own recovered state.
+// Field meanings match opRec: Insert distinguishes upsert from remove,
+// OK is the structure's replaced/removed report (failed removes carry no
+// effect), Start/End are shared-clock timestamps giving real-time order
+// on non-overlapping ops, and Epoch is the exact commit epoch.
+type Op struct {
+	Insert bool
+	K, V   uint64
+	OK     bool
+	Start  uint64
+	End    uint64
+	Epoch  uint64
+}
+
+// CheckRecovered verifies a recovered key/value state against a
+// concurrent write history under buffered durability: the state must be
+// the end-of-epoch-persisted cut of some linearization of the history.
+// With buffered=false the epoch filter is disabled (strict durability:
+// every completed op must be visible). It is checkWindow with an
+// exported surface; see that function for the full soundness argument.
+func CheckRecovered(history []Op, persisted uint64, buffered bool, recovered map[uint64]uint64) error {
+	recs := make([]opRec, len(history))
+	for i, o := range history {
+		recs[i] = opRec{insert: o.Insert, k: o.K, v: o.V, ok: o.OK, start: o.Start, end: o.End, epoch: o.Epoch}
+	}
+	return checkWindow(recs, persisted, buffered, recovered)
+}

@@ -221,6 +221,13 @@ type System struct {
 	shardCtrs []shardCtr    // per-shard flushed/retired/freed
 	advSeq    atomic.Uint64 // seqlock over each task's counter burst
 	advHist   obs.Hist      // AdvanceOnce wall-time distribution
+
+	// Durable-watermark subscribers (group-commit ackers and friends).
+	// Notifications are coalescing wakes, not a value stream: subscribers
+	// re-read PersistedEpoch after each wake.
+	subMu   sync.Mutex
+	subs    map[uint64]chan<- uint64
+	subNext uint64
 }
 
 // newSystem builds the in-DRAM skeleton shared by New and Recover; the
@@ -356,6 +363,46 @@ func (s *System) GlobalEpoch() uint64 { return s.global.Load() }
 
 // PersistedEpoch returns the newest epoch whose updates are fully durable.
 func (s *System) PersistedEpoch() uint64 { return s.persisted.Load() }
+
+// SubscribeDurable registers ch to be poked whenever the durable
+// watermark advances. Sends are non-blocking and coalescing: if ch is
+// full the notification is dropped, so subscribers must treat each
+// received value as "the watermark moved" and re-read PersistedEpoch
+// for the current value (a buffered channel of capacity 1 is the
+// intended shape). The returned cancel function unregisters ch; it is
+// idempotent and never closes ch. This is the group-commit hook: a
+// server acker subscribes, and on each wake flushes durable acks for
+// every op whose commit epoch is now ≤ the watermark.
+func (s *System) SubscribeDurable(ch chan<- uint64) (cancel func()) {
+	s.subMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[uint64]chan<- uint64)
+	}
+	id := s.subNext
+	s.subNext++
+	s.subs[id] = ch
+	s.subMu.Unlock()
+	return func() {
+		s.subMu.Lock()
+		delete(s.subs, id)
+		s.subMu.Unlock()
+	}
+}
+
+// notifyDurable pokes every subscriber after the durable watermark
+// reaches p. Called from the advance path with advMu held (or from the
+// background flusher), so it must never block: full subscriber channels
+// just miss this wake and catch up on the next.
+func (s *System) notifyDurable(p uint64) {
+	s.subMu.Lock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+	s.subMu.Unlock()
+}
 
 // Stats returns a consistent snapshot of epoch-system activity counters.
 //
@@ -610,6 +657,7 @@ func (s *System) runTask(x uint64) {
 		}
 		s.eng.Commit()
 		s.persisted.Store(s.eng.Watermark())
+		s.notifyDurable(s.eng.Watermark())
 		t = o.Now()
 	} else {
 		if o != nil {
@@ -617,6 +665,7 @@ func (s *System) runTask(x uint64) {
 		}
 		durability.StoreWatermark(s.heap, x)
 		s.persisted.Store(x)
+		s.notifyDurable(x)
 		if o != nil {
 			t = o.Phase(obs.PhaseRoot, x, t)
 		}

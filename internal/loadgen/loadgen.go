@@ -1,0 +1,375 @@
+// Package loadgen drives a bdserve instance over the wire protocol:
+// closed-loop (windowed) or open-loop (rate-paced) YCSB A–F workloads on
+// N connections, with full ack bookkeeping. Op streams are a pure
+// function of (seed, connection index, op index) — Plan is shared by
+// both modes — so any server-side anomaly found under load replays
+// exactly from the same Config.
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bdhtm/internal/obs"
+	"bdhtm/internal/wire"
+	"bdhtm/internal/ycsb"
+)
+
+// Mode selects the load-generation discipline.
+type Mode int
+
+const (
+	// Closed keeps a fixed window of outstanding requests per
+	// connection: a new request is sent when a previous one completes.
+	Closed Mode = iota
+	// Open sends requests at a fixed rate regardless of completions —
+	// the discipline that exposes queueing (ack-lag) behavior.
+	Open
+)
+
+func (m Mode) String() string {
+	if m == Open {
+		return "open"
+	}
+	return "closed"
+}
+
+// Config shapes one load-generation run.
+type Config struct {
+	Addr  string
+	Conns int
+	// Ops is the per-connection op count.
+	Ops int
+	Mode Mode
+	// RatePerSec paces each connection in Open mode (default 10k/s).
+	RatePerSec float64
+	// Pipeline is the closed-loop window per connection (default 8).
+	Pipeline int
+	// Workload is a YCSB letter A–F; empty uses Mix directly.
+	Workload string
+	Mix      ycsb.Mix
+	// Zipfian selects the skewed key distribution (theta 0.99);
+	// otherwise keys are uniform.
+	Zipfian  bool
+	KeySpace uint64
+	Seed     uint64
+	// SyncAcks mirrors the server's -sync flag: writes are acked once
+	// (durable only), so the applied-ack bookkeeping is skipped.
+	SyncAcks bool
+	// Timeout bounds the whole run (default 60s).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1000
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 8
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 10000
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 1 << 12
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.Workload != "" {
+		mix, ok := ycsb.WorkloadMix(c.Workload)
+		if !ok {
+			return c, fmt.Errorf("loadgen: unknown workload %q", c.Workload)
+		}
+		c.Mix = mix
+	}
+	return c, nil
+}
+
+// Op is one planned request. ID encodes (connection, index) so acks are
+// attributable and the ID sequence is deterministic; Scan carries the
+// drawn scan length for OpScan.
+type Op struct {
+	ID    uint64
+	Kind  ycsb.OpKind
+	Key   uint64
+	Value uint64
+	Scan  uint32
+}
+
+// OpID is the deterministic request ID of op i on connection conn (both
+// 0-based).
+func OpID(conn, i int) uint64 {
+	return uint64(conn+1)<<32 | uint64(i+1)
+}
+
+// Plan returns connection conn's full op stream. It depends only on
+// (cfg.Seed, cfg key distribution, conn) — never on Mode, Pipeline, or
+// rate — which is the determinism contract the replay tests pin.
+func Plan(cfg Config, conn int) ([]Op, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed + uint64(conn)*0x9e3779b97f4a7c15
+	var g *ycsb.Generator
+	if cfg.Zipfian {
+		g = ycsb.NewZipfian(cfg.KeySpace, ycsb.DefaultZipfian, cfg.Mix, seed)
+	} else {
+		g = ycsb.NewUniform(cfg.KeySpace, cfg.Mix, seed)
+	}
+	ops := make([]Op, cfg.Ops)
+	for i := range ops {
+		kind, k, v := g.Next()
+		op := Op{ID: OpID(conn, i), Kind: kind, Key: k}
+		switch kind {
+		case ycsb.OpInsert:
+			op.Value = v
+		case ycsb.OpScan:
+			op.Scan = uint32(v)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+func (o Op) wireMsg() wire.Msg {
+	switch o.Kind {
+	case ycsb.OpRead:
+		return wire.Msg{Type: wire.CmdGet, ID: o.ID, Key: o.Key}
+	case ycsb.OpInsert:
+		return wire.Msg{Type: wire.CmdPut, ID: o.ID, Key: o.Key, Value: o.Value}
+	case ycsb.OpRemove:
+		return wire.Msg{Type: wire.CmdDel, ID: o.ID, Key: o.Key}
+	default:
+		return wire.Msg{Type: wire.CmdScan, ID: o.ID, Key: o.Key, Count: o.Scan}
+	}
+}
+
+// Result is the run's aggregate ledger.
+type Result struct {
+	Ops    int64
+	Reads  int64
+	Writes int64
+	Scans  int64
+
+	AppliedAcks int64
+	DurableAcks int64
+	// DupAcks counts acks for IDs already finally acked, and durable
+	// acks that arrived before their applied ack — both must be zero
+	// against a correct server.
+	DupAcks int64
+	Errors  int64
+
+	Elapsed  time.Duration
+	NetP50NS int64
+	NetP99NS int64
+}
+
+// Run executes the configured load and blocks until every op on every
+// connection has received its final ack (durable for writes, value for
+// reads) or the timeout expires.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	var (
+		mu    sync.Mutex
+		res   Result
+		hist  obs.Hist
+		wg    sync.WaitGroup
+		errCh = make(chan error, cfg.Conns)
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Timeout)
+	for ci := 0; ci < cfg.Conns; ci++ {
+		ops, err := Plan(cfg, ci)
+		if err != nil {
+			return Result{}, err
+		}
+		wg.Add(1)
+		go func(ci int, ops []Op) {
+			defer wg.Done()
+			r, err := runConn(cfg, ci, ops, deadline, &hist)
+			if err != nil {
+				errCh <- fmt.Errorf("conn %d: %w", ci, err)
+			}
+			mu.Lock()
+			res.Ops += r.Ops
+			res.Reads += r.Reads
+			res.Writes += r.Writes
+			res.Scans += r.Scans
+			res.AppliedAcks += r.AppliedAcks
+			res.DurableAcks += r.DurableAcks
+			res.DupAcks += r.DupAcks
+			res.Errors += r.Errors
+			mu.Unlock()
+		}(ci, ops)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	snap := hist.Snapshot()
+	res.NetP50NS = snap.Quantile(0.50)
+	res.NetP99NS = snap.Quantile(0.99)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+		return res, nil
+	}
+}
+
+// opState tracks one in-flight request on a connection.
+type opState struct {
+	sentAt  time.Time
+	isWrite bool
+	applied bool
+	done    bool
+}
+
+func runConn(cfg Config, ci int, ops []Op, deadline time.Time, hist *obs.Hist) (Result, error) {
+	nc, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return Result{}, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(deadline)
+	w := wire.NewWriter(nc)
+	r := wire.NewReader(nc)
+
+	var res Result
+	states := make(map[uint64]*opState, cfg.Pipeline*2)
+	var stMu sync.Mutex // sender writes states, receiver resolves them
+
+	// tokens is the closed-loop window; in open mode the sender paces by
+	// time instead and the channel stays unused.
+	var tokens chan struct{}
+	if cfg.Mode == Closed {
+		tokens = make(chan struct{}, cfg.Pipeline)
+		for i := 0; i < cfg.Pipeline; i++ {
+			tokens <- struct{}{}
+		}
+	}
+	release := func() {
+		if tokens != nil {
+			select {
+			case tokens <- struct{}{}:
+			default:
+			}
+		}
+	}
+
+	sendErr := make(chan error, 1)
+	go func() {
+		interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+		next := time.Now()
+		for i := range ops {
+			if cfg.Mode == Closed {
+				<-tokens
+			} else {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+			}
+			o := &ops[i]
+			stMu.Lock()
+			states[o.ID] = &opState{sentAt: time.Now(), isWrite: o.Kind == ycsb.OpInsert || o.Kind == ycsb.OpRemove}
+			stMu.Unlock()
+			m := o.wireMsg()
+			if err := w.Write(&m); err != nil {
+				sendErr <- err
+				return
+			}
+			// In closed mode every send follows a completion, so flushing
+			// per send keeps the window moving; open mode flushes on a
+			// small batch boundary to stay pipelined.
+			if cfg.Mode == Closed || (i+1)%16 == 0 || i == len(ops)-1 {
+				if err := w.Flush(); err != nil {
+					sendErr <- err
+					return
+				}
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Receiver: run to completion — every op must reach its final ack.
+	want := len(ops)
+	finals := 0
+	for finals < want {
+		m, err := r.Read()
+		if err != nil {
+			return res, fmt.Errorf("after %d/%d final acks: %w", finals, want, err)
+		}
+		stMu.Lock()
+		st := states[m.ID]
+		stMu.Unlock()
+		if st == nil {
+			res.DupAcks++ // ack for an ID never sent (or already reaped)
+			continue
+		}
+		final := false
+		switch m.Type {
+		case wire.RespValue:
+			if st.isWrite || st.done {
+				res.DupAcks++
+				break
+			}
+			final = true
+			res.Reads++
+			release()
+		case wire.RespScan:
+			if st.isWrite || st.done {
+				res.DupAcks++
+				break
+			}
+			final = true
+			res.Scans++
+			release()
+		case wire.RespApplied:
+			res.AppliedAcks++
+			if !st.isWrite || st.applied || st.done || cfg.SyncAcks {
+				res.DupAcks++
+				break
+			}
+			st.applied = true
+			// The window is released on applied: buffered mode's whole
+			// point is that the client can proceed at memory speed.
+			release()
+		case wire.RespDurable:
+			res.DurableAcks++
+			if !st.isWrite || st.done || (!cfg.SyncAcks && !st.applied) {
+				res.DupAcks++
+				break
+			}
+			final = true
+			res.Writes++
+			if cfg.SyncAcks {
+				release()
+			}
+		case wire.RespError:
+			res.Errors++
+			final = true
+			release()
+		default:
+			res.Errors++
+		}
+		if final && !st.done {
+			st.done = true
+			finals++
+			res.Ops++
+			hist.Record(uint64(ci)%obs.NumShards, time.Since(st.sentAt).Nanoseconds())
+		}
+	}
+	if err := <-sendErr; err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -181,6 +181,16 @@ const (
 	MEngineFlushes // flush operations issued by the durability engine (lane = shard)
 	MLogSpills     // log-overflow segments sealed mid-commit
 
+	// Service-layer counters for bdserve (appended; enum order is part
+	// of the trace format). The server bumps these with the connection
+	// index as the lane, so per-connection ack conservation (durable acks
+	// == write commits, applied acks == write commits in buffered mode)
+	// is checkable from telemetry alone.
+	MServeConns       // connections accepted
+	MServeReqs        // request frames decoded and dispatched
+	MServeAppliedAcks // applied acks written (buffered mode)
+	MServeDurableAcks // durable acks written by the group-commit acker
+
 	NumMetrics
 )
 
@@ -216,6 +226,14 @@ func (m Metric) String() string {
 		return "engine-flushes"
 	case MLogSpills:
 		return "log-spills"
+	case MServeConns:
+		return "serve-conns"
+	case MServeReqs:
+		return "serve-reqs"
+	case MServeAppliedAcks:
+		return "serve-applied-acks"
+	case MServeDurableAcks:
+		return "serve-durable-acks"
 	default:
 		return fmt.Sprintf("Metric(%d)", uint8(m))
 	}
@@ -230,6 +248,15 @@ const (
 	// flusher but not yet completed (0 or 1 under the two-epoch window).
 	GFlusherDepth GaugeID = iota
 
+	// Service-layer gauges (appended). GServeConns is open connections;
+	// GServeInflight is requests decoded but not yet applied-acked;
+	// GServeAckQueue is ops applied but awaiting their durable ack. All
+	// three must drain to zero when every client disconnects cleanly —
+	// the race-lane conservation test pins that.
+	GServeConns
+	GServeInflight
+	GServeAckQueue
+
 	NumGauges
 )
 
@@ -237,6 +264,12 @@ func (g GaugeID) String() string {
 	switch g {
 	case GFlusherDepth:
 		return "flusher-depth"
+	case GServeConns:
+		return "serve-conns"
+	case GServeInflight:
+		return "serve-inflight"
+	case GServeAckQueue:
+		return "serve-ack-queue"
 	default:
 		return fmt.Sprintf("GaugeID(%d)", uint8(g))
 	}

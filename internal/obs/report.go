@@ -96,6 +96,7 @@ type BenchRow struct {
 	HTM     *HTMSummary     `json:"htm,omitempty"`
 	NVM     *NVMSummary     `json:"nvm,omitempty"`
 	Epoch   *EpochSummary   `json:"epoch,omitempty"`
+	Net     *NetSummary     `json:"net,omitempty"`
 }
 
 // LatencySummary holds per-operation latency percentiles in nanoseconds.
@@ -170,6 +171,29 @@ type EpochSummary struct {
 	EngineFences  int64  `json:"engine_fences,omitempty"`
 	EngineFlushes int64  `json:"engine_flushes,omitempty"`
 	LogSpills     int64  `json:"log_spills,omitempty"`
+}
+
+// NetSummary is the service-layer view from a bdbench serve run: the
+// client-observed ack latencies and the applied-vs-durable gap (omitted
+// by rows produced by non-networked experiments). NetP50NS/NetP99NS
+// measure request-to-final-ack round trips as seen by loadgen — in
+// buffered mode the final ack is the durable one, so the gap between
+// these and the applied-ack latency is exactly the group-commit wait.
+type NetSummary struct {
+	Conns    int    `json:"conns"`
+	Mode     string `json:"mode"` // "closed" or "open" loop
+	SyncAcks bool   `json:"sync_acks,omitempty"`
+
+	NetP50NS int64 `json:"net_p50_ns"`
+	NetP99NS int64 `json:"net_p99_ns"`
+
+	AckedApplied int64 `json:"acked_applied"`
+	AckedDurable int64 `json:"acked_durable"`
+	// AckLagEpochs is the worst observed distance between the durable
+	// watermark and a just-acked op's commit epoch — bounded by the BDL
+	// window (2) when acks drain promptly.
+	AckLagEpochs int64 `json:"ack_lag_epochs"`
+	ProtoErrors  int64 `json:"proto_errors,omitempty"`
 }
 
 // EpochShardSummary is one flusher shard's slice of the epoch counters.
@@ -276,6 +300,20 @@ func ValidateReport(data []byte) error {
 					return fmt.Errorf("%s: per_shard sums (%d,%d,%d) != aggregates (%d,%d,%d)",
 						where, f, r, fr, e.FlushedBlocks, e.RetiredBlocks, e.FreedBlocks)
 				}
+			}
+		}
+		if n := row.Net; n != nil {
+			if n.Conns < 1 {
+				return fmt.Errorf("%s: net conns %d < 1", where, n.Conns)
+			}
+			if n.Mode != "closed" && n.Mode != "open" {
+				return fmt.Errorf("%s: net mode %q not closed/open", where, n.Mode)
+			}
+			if n.NetP50NS < 0 || n.NetP99NS < 0 || n.NetP50NS > n.NetP99NS {
+				return fmt.Errorf("%s: net percentiles not ordered (%d, %d)", where, n.NetP50NS, n.NetP99NS)
+			}
+			if n.AckedApplied < 0 || n.AckedDurable < 0 || n.AckLagEpochs < 0 || n.ProtoErrors < 0 {
+				return fmt.Errorf("%s: negative net ack counters", where)
 			}
 		}
 	}

@@ -50,6 +50,11 @@ func fixedReport() *Report {
 				{FlushedBlocks: 2300, RetiredBlocks: 400, FreedBlocks: 300},
 			},
 		},
+		Net: &NetSummary{
+			Conns: 4, Mode: "closed",
+			NetP50NS: 25000, NetP99NS: 180000,
+			AckedApplied: 40000, AckedDurable: 40000, AckLagEpochs: 2,
+		},
 	})
 	rep.Append(BenchRow{
 		Experiment: "fig1",
@@ -141,6 +146,10 @@ func TestValidateReportRejects(t *testing.T) {
 			ps := r.Results[0].Epoch.PerShard
 			ps[0].FreedBlocks = ps[0].RetiredBlocks + 1
 		}, "per_shard[0] freed"},
+		{"net zero conns", func(r *Report) { r.Results[0].Net.Conns = 0 }, "net conns"},
+		{"net bad mode", func(r *Report) { r.Results[0].Net.Mode = "burst" }, "net mode"},
+		{"net percentile inversion", func(r *Report) { r.Results[0].Net.NetP50NS = r.Results[0].Net.NetP99NS + 1 }, "net percentiles"},
+		{"net negative acks", func(r *Report) { r.Results[0].Net.AckedDurable = -1 }, "net ack"},
 	}
 	for _, m := range mutate {
 		t.Run(m.name, func(t *testing.T) {
