@@ -40,6 +40,12 @@ type conn struct {
 	respCh     chan outMsg
 	durCh      chan struct{} // coalescing doorbell from the durable watermark
 	writerGone chan struct{} // closed when the writer exits
+	readerGone chan struct{} // closed when the reader exits
+
+	// closing is set (by the writer or dropConn) just before we close
+	// our own socket, so the reader's resulting Read error is treated as
+	// teardown rather than a peer protocol violation.
+	closing atomic.Bool
 
 	ackMu   sync.Mutex
 	pending []pendingAck
@@ -76,13 +82,14 @@ func (c *conn) send(m outMsg) {
 // to the writer.
 func (c *conn) readLoop() {
 	defer c.srv.wg.Done()
+	defer close(c.readerGone)
 	srv := c.srv
 	r := wire.NewReader(c.nc)
 	lane := uint64(srv.conns64.Load()) % obs.NumShards
 	for {
 		m, err := r.Read()
 		if err != nil {
-			if wire.IsProtocol(err) && !srv.isClosed() {
+			if wire.IsProtocol(err) && !srv.isClosed() && !c.closing.Load() {
 				// The peer spoke garbage: farewell frame, then close. ID 0
 				// because the stream is broken and the offending request's
 				// ID is unknowable.
@@ -220,6 +227,7 @@ func (c *conn) writeLoop() {
 		}
 		if m.closeAfter {
 			w.Flush()
+			c.closing.Store(true)
 			c.nc.Close()
 			return
 		}

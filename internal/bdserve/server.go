@@ -130,12 +130,12 @@ type hashSession struct {
 	w *epoch.Worker
 }
 
-func (s *hashStore) NewSession() session          { return &hashSession{s: s, w: s.sys.Register()} }
-func (s *hashStore) Rebuild(r epoch.BlockRecord)  { s.tab.RebuildBlock(r) }
-func (h *hashSession) Put(k, v uint64) bool       { return h.s.tab.Insert(h.w, k, v) }
-func (h *hashSession) Del(k uint64) bool          { return h.s.tab.Remove(h.w, k) }
+func (s *hashStore) NewSession() session           { return &hashSession{s: s, w: s.sys.Register()} }
+func (s *hashStore) Rebuild(r epoch.BlockRecord)   { s.tab.RebuildBlock(r) }
+func (h *hashSession) Put(k, v uint64) bool        { return h.s.tab.Insert(h.w, k, v) }
+func (h *hashSession) Del(k uint64) bool           { return h.s.tab.Remove(h.w, k) }
 func (h *hashSession) Get(k uint64) (uint64, bool) { return h.s.tab.Get(k) }
-func (h *hashSession) Epoch() uint64              { return h.w.OpEpoch() }
+func (h *hashSession) Epoch() uint64               { return h.w.OpEpoch() }
 
 // --- skiplist store ---
 
@@ -147,12 +147,12 @@ type listSession struct {
 	h *skiplist.Handle
 }
 
-func (s *listStore) NewSession() session          { return &listSession{h: s.list.NewHandle()} }
-func (s *listStore) Rebuild(r epoch.BlockRecord)  { s.list.RebuildBlock(r) }
-func (h *listSession) Put(k, v uint64) bool       { return h.h.Insert(k, v) }
-func (h *listSession) Del(k uint64) bool          { return h.h.Remove(k) }
+func (s *listStore) NewSession() session           { return &listSession{h: s.list.NewHandle()} }
+func (s *listStore) Rebuild(r epoch.BlockRecord)   { s.list.RebuildBlock(r) }
+func (h *listSession) Put(k, v uint64) bool        { return h.h.Insert(k, v) }
+func (h *listSession) Del(k uint64) bool           { return h.h.Remove(k) }
 func (h *listSession) Get(k uint64) (uint64, bool) { return h.h.Get(k) }
-func (h *listSession) Epoch() uint64              { return h.h.Worker().OpEpoch() }
+func (h *listSession) Epoch() uint64               { return h.h.Worker().OpEpoch() }
 
 // Counters is a point-in-time snapshot of the server's service-layer
 // accounting, for tests and the stats endpoint.
@@ -184,6 +184,13 @@ type Server struct {
 	sessions []session // free pool; sessions outlive connections
 	nSess    int
 	closed   bool
+
+	// dumpMu/dumpSess: lazily created fallback session for Dump when the
+	// pool is drained and nSess is at MaxSessions, so Dump never blocks
+	// on (or races with) connection sessions. One extra worker, outside
+	// the MaxSessions budget (epochCfg reserves headroom for it).
+	dumpMu   sync.Mutex
+	dumpSess session
 
 	wg        sync.WaitGroup
 	notifyCh  chan uint64
@@ -296,8 +303,21 @@ func (s *Server) Stats() Counters {
 // Dump reads the store back through Get over [0, keyspace), the
 // post-recovery state the crashfuzz window checker consumes.
 func (s *Server) Dump(keyspace uint64) map[uint64]uint64 {
-	sess := s.takeSession()
-	defer s.putSession(sess)
+	if sess := s.takeSession(); sess != nil {
+		defer s.putSession(sess)
+		return s.dumpWith(sess, keyspace)
+	}
+	// Server at connection capacity: fall back to the dedicated dump
+	// session rather than dereferencing nil or stealing from a conn.
+	s.dumpMu.Lock()
+	defer s.dumpMu.Unlock()
+	if s.dumpSess == nil {
+		s.dumpSess = s.st.NewSession()
+	}
+	return s.dumpWith(s.dumpSess, keyspace)
+}
+
+func (s *Server) dumpWith(sess session, keyspace uint64) map[uint64]uint64 {
 	m := make(map[uint64]uint64)
 	for k := uint64(0); k < keyspace; k++ {
 		if v, ok := sess.Get(k); ok {
@@ -372,6 +392,7 @@ func (s *Server) startConn(nc net.Conn) {
 		respCh:     make(chan outMsg, 256),
 		durCh:      make(chan struct{}, 1),
 		writerGone: make(chan struct{}),
+		readerGone: make(chan struct{}),
 	}
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
@@ -410,29 +431,43 @@ func (s *Server) putSession(sess session) {
 	s.mu.Unlock()
 }
 
+// dropConn runs on the writer goroutine after writeLoop returns (its
+// writerGone is already closed, so a reader blocked in send unblocks).
+// It must not recycle the session until the reader has also exited: the
+// reader executes ops on the session, and on a writer-side error (client
+// RST mid-pipeline) it can still be draining buffered requests.
 func (s *Server) dropConn(c *conn) {
 	s.mu.Lock()
 	_, live := s.conns[c]
 	delete(s.conns, c)
-	if live {
-		s.sessions = append(s.sessions, c.sess)
-	}
 	s.mu.Unlock()
-	if live {
-		s.gauge(obs.GServeConns, s.openConns.Add(-1))
-		// Whatever this connection still owed (unanswered requests,
-		// unflushed durable acks) dies with it; the gauges must not leak.
-		c.ackMu.Lock()
-		orphaned := int64(len(c.pending))
-		c.pending = nil
-		c.ackMu.Unlock()
-		if orphaned > 0 {
-			s.gauge(obs.GServeAckQueue, s.ackQueue.Add(-orphaned))
-		}
-		if inflight := c.inflight.Swap(0); inflight > 0 {
-			s.gauge(obs.GServeInflight, s.inflight.Add(-inflight))
-		}
+	if !live {
+		return
 	}
+	// Writer error paths leave the socket half-open; close it (flagging
+	// teardown so the reader's Read error isn't counted as a protocol
+	// violation) and wait out the reader before touching its state.
+	c.closing.Store(true)
+	c.nc.Close()
+	<-c.readerGone
+	s.gauge(obs.GServeConns, s.openConns.Add(-1))
+	// Whatever this connection still owed (unanswered requests,
+	// unflushed durable acks) dies with it; the gauges must not leak.
+	c.ackMu.Lock()
+	orphaned := int64(len(c.pending))
+	c.pending = nil
+	c.ackMu.Unlock()
+	if orphaned > 0 {
+		s.gauge(obs.GServeAckQueue, s.ackQueue.Add(-orphaned))
+	}
+	if inflight := c.inflight.Swap(0); inflight > 0 {
+		s.gauge(obs.GServeInflight, s.inflight.Add(-inflight))
+	}
+	// Only now is the session quiescent and safe to hand to another
+	// connection.
+	s.mu.Lock()
+	s.sessions = append(s.sessions, c.sess)
+	s.mu.Unlock()
 }
 
 // Close stops accepting, tears down connections, and stops the epoch

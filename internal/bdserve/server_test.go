@@ -251,6 +251,74 @@ func TestAdversarialProtocol(t *testing.T) {
 	}
 }
 
+// TestDumpAtCapacity: Dump must work while every budgeted session is
+// owned by a live connection (it falls back to a dedicated session
+// instead of dereferencing a nil one).
+func TestDumpAtCapacity(t *testing.T) {
+	srv, addr := startServer(t, Config{KeySpace: 1 << 8, EpochLength: time.Millisecond, MaxSessions: 1})
+	c := dial(t, addr)
+	c.send(wire.Msg{Type: wire.CmdPut, ID: 1, Key: 4, Value: 40})
+	expectAcks(t, c, 1)
+	if m := srv.Dump(1 << 8); m[4] != 40 {
+		t.Fatalf("dump at capacity: %v", m)
+	}
+	// A second dump reuses the fallback session (no new worker).
+	if m := srv.Dump(1 << 8); m[4] != 40 {
+		t.Fatalf("second dump at capacity: %v", m)
+	}
+}
+
+// TestAbruptCloseRecyclesSession: a client that resets the connection
+// mid-pipeline kills the writer first, while the reader may still be
+// draining buffered requests on the session. The session must not reach
+// a new connection until the reader is done (-race pins the old bug),
+// and the half-open reader must be unblocked (or Close would hang on a
+// leaked goroutine).
+func TestAbruptCloseRecyclesSession(t *testing.T) {
+	_, addr := startServer(t, Config{KeySpace: 1 << 10, EpochLength: time.Millisecond, MaxSessions: 1})
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter(nc)
+	for i := uint64(1); i <= 2000; i++ {
+		if err := w.Write(&wire.Msg{Type: wire.CmdPut, ID: i, Key: i % 512, Value: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Reset without reading a single ack: the server's writer dies on a
+	// send error with a socketful of requests still queued for its reader.
+	nc.(*net.TCPConn).SetLinger(0)
+	nc.Close()
+
+	// The lone session must come back and serve a fresh connection.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c := dial(t, addr)
+		c.send(wire.Msg{Type: wire.CmdPut, ID: 1, Key: 9, Value: 90})
+		m, err := c.recvRaw()
+		if err == nil && m.Type == wire.RespError && m.Code == wire.ECodeServer {
+			// Still at capacity: the old connection is mid-teardown.
+			if time.Now().After(deadline) {
+				t.Fatal("session never recycled after abrupt client close")
+			}
+			c.nc.Close()
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("fresh connection after abrupt close: %v", err)
+		}
+		if m.Type != wire.RespApplied || m.ID != 1 {
+			t.Fatalf("want applied ack on recycled session, got %+v", m)
+		}
+		return
+	}
+}
+
 // TestSyncMode: with SyncAcks the server stays silent on writes until
 // the epoch persists, then responds with exactly one durable ack.
 func TestSyncMode(t *testing.T) {

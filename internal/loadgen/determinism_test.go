@@ -1,10 +1,12 @@
 package loadgen
 
 import (
+	"net"
 	"testing"
 	"time"
 
 	"bdhtm/internal/bdserve"
+	"bdhtm/internal/wire"
 	"bdhtm/internal/ycsb"
 )
 
@@ -202,5 +204,54 @@ func TestRunScanWorkload(t *testing.T) {
 	}
 	if res.DupAcks != 0 || res.Errors != 0 {
 		t.Fatalf("dup acks %d, errors %d", res.DupAcks, res.Errors)
+	}
+}
+
+// TestRunFailsFastAtCapacity: a connection refused for capacity gets the
+// server's ID-0 error frame; the run must surface that as an error
+// immediately instead of spinning until the deadline waiting for final
+// acks that can never arrive.
+func TestRunFailsFastAtCapacity(t *testing.T) {
+	srv := bdserve.New(bdserve.Config{KeySpace: 1 << 10, EpochLength: time.Millisecond, MaxSessions: 1})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	// Occupy the only session: one round-tripped op guarantees the
+	// connection is registered before the load generator dials.
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	w := wire.NewWriter(nc)
+	r := wire.NewReader(nc)
+	if err := w.Write(&wire.Msg{Type: wire.CmdGet, ID: 1, Key: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = Run(Config{
+		Addr:     addr.String(),
+		Conns:    1,
+		Ops:      50,
+		Workload: "A",
+		KeySpace: 1 << 10,
+		Seed:     7,
+		Timeout:  30 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("capacity-refused run reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("refused run took %v; did not fail fast", elapsed)
 	}
 }

@@ -41,7 +41,7 @@ type Config struct {
 	Addr  string
 	Conns int
 	// Ops is the per-connection op count.
-	Ops int
+	Ops  int
 	Mode Mode
 	// RatePerSec paces each connection in Open mode (default 10k/s).
 	RatePerSec float64
@@ -312,6 +312,13 @@ func runConn(cfg Config, ci int, ops []Op, deadline time.Time, hist *obs.Hist) (
 		st := states[m.ID]
 		stMu.Unlock()
 		if st == nil {
+			if m.Type == wire.RespError {
+				// An error frame for an ID we never sent — notably the
+				// server's ID-0 capacity refusal — means the connection
+				// will never complete; fail fast instead of spinning to
+				// the deadline.
+				return res, fmt.Errorf("after %d/%d final acks: server error code %d: %s", finals, want, m.Code, m.Text)
+			}
 			res.DupAcks++ // ack for an ID never sent (or already reaped)
 			continue
 		}
