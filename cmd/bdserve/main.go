@@ -8,6 +8,12 @@
 //	                                port, drive N ops per connection with
 //	                                the load generator, print the ack
 //	                                ledger, exit non-zero on violations
+//	bdserve -recover N [flags]      recover-then-serve cold start: fill N
+//	                                keys durably over the wire, power-fail
+//	                                the heap, recover on the same heap
+//	                                (-recover-workers scan goroutines),
+//	                                verify every durable-acked key is
+//	                                served, exit non-zero on loss
 //
 // Write acks follow the group-commit discipline: RespApplied at HTM
 // commit (buffered mode), RespDurable when the epoch system's durable
@@ -46,6 +52,9 @@ var (
 	selfConns    = flag.Int("selftest-conns", 4, "selftest connections")
 	selfWorkload = flag.String("selftest-workload", "A", "selftest YCSB workload A-F")
 	obsFlag      = flag.Bool("obs", false, "record obs telemetry")
+
+	recoverN    = flag.Int("recover", 0, "recover-then-serve cold start: fill N keys durably, crash, recover, verify over the wire, then exit")
+	recoverWrks = flag.Int("recover-workers", 4, "recovery scan worker goroutines for -recover")
 )
 
 func main() {
@@ -72,6 +81,9 @@ func main() {
 	}
 	if *obsFlag {
 		cfg.Obs = obs.New("bdserve")
+	}
+	if *recoverN > 0 {
+		os.Exit(runRecover(cfg, *recoverN, *recoverWrks))
 	}
 	if *selftest > 0 {
 		os.Exit(runSelftest(cfg))

@@ -61,6 +61,9 @@ type Config struct {
 	Shards int
 	Async  bool
 	Engine string
+	// RecoveryWorkers partitions Recover's header scan across this many
+	// goroutines (0/1 = serial; forwarded to epoch.Config).
+	RecoveryWorkers int
 	// SyncAcks suppresses applied acks: every write is acked only once,
 	// when durable (the -sync server flag).
 	SyncAcks bool
@@ -91,13 +94,14 @@ func (c Config) withDefaults() Config {
 
 func (c Config) epochCfg() epoch.Config {
 	return epoch.Config{
-		EpochLength: c.EpochLength,
-		Manual:      c.Manual,
-		Shards:      c.Shards,
-		Async:       c.Async,
-		Engine:      c.Engine,
-		Obs:         c.Obs,
-		MaxWorkers:  c.MaxSessions + 8,
+		EpochLength:     c.EpochLength,
+		Manual:          c.Manual,
+		Shards:          c.Shards,
+		Async:           c.Async,
+		Engine:          c.Engine,
+		RecoveryWorkers: c.RecoveryWorkers,
+		Obs:             c.Obs,
+		MaxWorkers:      c.MaxSessions + 8,
 	}
 }
 
@@ -170,13 +174,24 @@ type Counters struct {
 	AckQueue  int64 // gauge: write ops applied, durable ack not yet written
 }
 
+// RecoveryInfo summarizes a Recover cold start: how the header scan was
+// partitioned and what it found. Zero value on servers built with New.
+type RecoveryInfo struct {
+	Workers     int   // scan worker goroutines
+	ScanNS      int64 // header scan + resurrection write-back
+	RebuildNS   int64 // structure rebuild from BlockRecords
+	Blocks      int64 // live blocks handed to rebuild
+	Resurrected int64 // deleted-but-unpersisted blocks revived
+}
+
 // Server is one bdserve instance.
 type Server struct {
-	cfg  Config
-	heap *nvm.Heap
-	sys  *epoch.System
-	tm   *htm.TM
-	st   store
+	cfg      Config
+	heap     *nvm.Heap
+	sys      *epoch.System
+	tm       *htm.TM
+	st       store
+	recovery RecoveryInfo
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -223,7 +238,7 @@ func New(cfg Config) *Server {
 // server with a compatible Config (same Engine).
 func Recover(heap *nvm.Heap, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	var recs []epoch.BlockRecord
+	recs := []epoch.BlockRecord{} // non-nil: build records RecoveryInfo even for an empty heap
 	sys := epoch.Recover(heap, cfg.epochCfg(), func(r epoch.BlockRecord) {
 		recs = append(recs, r)
 	})
@@ -254,8 +269,19 @@ func build(cfg Config, heap *nvm.Heap, sys *epoch.System, recs []epoch.BlockReco
 	default:
 		panic(fmt.Sprintf("bdserve: unknown structure %q", cfg.Structure))
 	}
-	for _, r := range recs {
-		s.st.Rebuild(r)
+	if recs != nil {
+		rebuildStart := time.Now()
+		for _, r := range recs {
+			s.st.Rebuild(r)
+		}
+		st := sys.Stats()
+		s.recovery = RecoveryInfo{
+			Workers:     st.RecoveryWorkers,
+			ScanNS:      st.RecoveryScanNS,
+			RebuildNS:   st.RecoveryRebuildNS + time.Since(rebuildStart).Nanoseconds(),
+			Blocks:      st.RecoveredLive,
+			Resurrected: st.Resurrected,
+		}
 	}
 	s.cancelSub = sys.SubscribeDurable(s.notifyCh)
 	s.wg.Add(1)
@@ -283,6 +309,10 @@ func (s *Server) System() *epoch.System { return s.sys }
 
 // Heap exposes the NVM heap (crash tests hand it to Recover).
 func (s *Server) Heap() *nvm.Heap { return s.heap }
+
+// Recovery reports the cold-start scan/rebuild summary; zero value if the
+// server was built with New rather than Recover.
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Stats snapshots the service counters and gauges.
 func (s *Server) Stats() Counters {

@@ -42,6 +42,7 @@ type RoundParams struct {
 	Shards       int     // persistence-path flusher shards; 0 = derive from {1, 4}
 	Async        int     // <0 = derive; 0 = serial advance, 1 = pipelined advance
 	Engine       string  // durability engine; "" = derive from durability.Names()
+	RWorkers     int     // recovery scan workers; 0 = derive from {1, 2, 4, 8}
 }
 
 // Derive is the sentinel for "fill this field from the seed".
@@ -96,6 +97,7 @@ func Resolve(p RoundParams) RoundParams {
 	shardsDraw := rng.next()
 	asyncDraw := rng.next()
 	engineDraw := rng.next()
+	rworkersDraw := rng.next()
 
 	if p.KeySpace == 0 {
 		p.KeySpace = keyspace
@@ -144,6 +146,9 @@ func Resolve(p RoundParams) RoundParams {
 		names := durability.Names()
 		p.Engine = names[engineDraw%uint64(len(names))]
 	}
+	if p.RWorkers == 0 {
+		p.RWorkers = []int{1, 2, 4, 8}[rworkersDraw%4]
+	}
 	return p
 }
 
@@ -151,10 +156,10 @@ func Resolve(p RoundParams) RoundParams {
 // bdfuzz -replay flag.
 func (p RoundParams) ReplayString() string {
 	return fmt.Sprintf(
-		"subject=%s seed=0x%x ops=%d workers=%d keyspace=%d evict=%.2f events=%d crash-after=%d crash-step=%d tail-adv=%d adv-every=%d spurious=%.2f memtype=%.2f shards=%d async=%d engine=%s",
+		"subject=%s seed=0x%x ops=%d workers=%d keyspace=%d evict=%.2f events=%d crash-after=%d crash-step=%d tail-adv=%d adv-every=%d spurious=%.2f memtype=%.2f shards=%d async=%d engine=%s rworkers=%d",
 		p.Subject, p.Seed, p.Ops, p.Workers, p.KeySpace, p.Evict, p.CrashEvents,
 		p.CrashAfter, p.CrashStep, p.TailAdvances, p.AdvEvery, p.Spurious, p.MemType,
-		p.Shards, p.Async, p.Engine)
+		p.Shards, p.Async, p.Engine, p.RWorkers)
 }
 
 // ReplayCommand is the shell command that reproduces one round.
@@ -163,9 +168,10 @@ func (p RoundParams) ReplayCommand() string {
 }
 
 // ParseReplay decodes a ReplayString back into params. Specs recorded
-// before the sharded advance pipeline or the pluggable engines existed
-// carry no shards=/async=/engine= fields; those stay at their derive
-// defaults and Resolve fills them.
+// before the sharded advance pipeline, the pluggable engines, or the
+// parallel recovery scan existed carry no shards=/async=/engine=/
+// rworkers= fields; those stay at their derive defaults and Resolve
+// fills them.
 func ParseReplay(s string) (RoundParams, error) {
 	p := RoundParams{Evict: Derive, CrashAfter: Derive, CrashStep: Derive,
 		TailAdvances: Derive, AdvEvery: Derive, Spurious: Derive, MemType: Derive,
@@ -212,6 +218,8 @@ func ParseReplay(s string) (RoundParams, error) {
 			_, err = fmt.Sscanf(kv[1], "%d", &p.Async)
 		case "engine":
 			p.Engine = kv[1]
+		case "rworkers":
+			_, err = fmt.Sscanf(kv[1], "%d", &p.RWorkers)
 		default:
 			return p, fmt.Errorf("crashfuzz: unknown replay field %q", kv[0])
 		}
@@ -351,15 +359,16 @@ func newSession(p RoundParams, sub Subject) *session {
 	s.obs = obs.New("crashfuzz")
 	s.obs.StartTrace(1 << 10)
 	sub.Init(Env{
-		Seed:         p.Seed,
-		HeapWords:    DefaultHeapWords,
-		Workers:      1,
-		SpuriousRate: p.Spurious,
-		MemTypeRate:  p.MemType,
-		Shards:       p.Shards,
-		Async:        p.Async == 1,
-		Engine:       p.Engine,
-		Obs:          s.obs,
+		Seed:            p.Seed,
+		HeapWords:       DefaultHeapWords,
+		Workers:         1,
+		SpuriousRate:    p.Spurious,
+		MemTypeRate:     p.MemType,
+		Shards:          p.Shards,
+		Async:           p.Async == 1,
+		Engine:          p.Engine,
+		RecoveryWorkers: p.RWorkers,
+		Obs:             s.obs,
 	})
 	s.h = sub.Handle(0)
 	s.model = map[uint64]uint64{}
@@ -621,15 +630,16 @@ func runConcurrent(p RoundParams, sub Subject) *Failure {
 	rec := obs.New("crashfuzz")
 	rec.StartTrace(1 << 10)
 	sub.Init(Env{
-		Seed:         p.Seed,
-		HeapWords:    DefaultHeapWords,
-		Workers:      p.Workers,
-		SpuriousRate: p.Spurious,
-		MemTypeRate:  p.MemType,
-		Shards:       p.Shards,
-		Async:        p.Async == 1,
-		Engine:       p.Engine,
-		Obs:          rec,
+		Seed:            p.Seed,
+		HeapWords:       DefaultHeapWords,
+		Workers:         p.Workers,
+		SpuriousRate:    p.Spurious,
+		MemTypeRate:     p.MemType,
+		Shards:          p.Shards,
+		Async:           p.Async == 1,
+		Engine:          p.Engine,
+		RecoveryWorkers: p.RWorkers,
+		Obs:             rec,
 	})
 	fail := func(err error) *Failure { return &Failure{Params: p, Msg: subjectMsg(sub.Name(), err)} }
 

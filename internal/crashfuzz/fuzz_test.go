@@ -29,6 +29,16 @@ func fuzzSubject(f *testing.F, subject string) {
 	f.Add([]byte("\x80\x00\x00\x00\x00\x00\x00\x00" + "\x05\x06\x07\x80\x45\x08\x80\xa5\x09\x80\xc0"))
 	f.Add([]byte("\xd0\x00\x00\x00\x00\x00\x00\x00" + "\x0a\x0b\x0c\x80\x4a\x0d\x80\x80\xbf\x0e\x80\xc0"))
 	f.Add([]byte("\x00\x01\x00\x00\x00\x00\x00\x00" + "\x11\x12\x13\x80\x51\x14\x80\xb0\x15\x80\xc0"))
+	// Seed bits 9-10 select the recovery worker count ({1,2,4,8}; see
+	// ReplayBytes): each shape persists inserts, deletes some, and
+	// power-fails with full eviction so recovery's parallel header scan
+	// sees resurrectable DELETED blocks. testdata/fuzz/ carries named
+	// copies.
+	f.Add([]byte("\x00\x02\x00\x00\x00\x00\x00\x00" + "\x01\x02\x03\x80\x80\x41\x42\xc1\x04\x80\xbf"))
+	f.Add([]byte("\x00\x04\x00\x00\x00\x00\x00\x00" + "\x05\x06\x07\x08\x80\x80\x45\x46\xc0\x09\x80\xa8"))
+	f.Add([]byte("\x00\x06\x00\x00\x00\x00\x00\x00" + "\x0a\x0b\x80\x80\x4a\xc0\x0c\x80\xc1"))
+	f.Add([]byte("\x10\x02\x00\x00\x00\x00\x00\x00" + "\x11\x12\x13\x80\x80\x51\x52\xc0\x14\x80\xbf"))
+	f.Add([]byte("\x40\x06\x00\x00\x00\x00\x00\x00" + "\x15\x16\x80\x80\x55\xc0\x17\x80\xc0"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if fail := ReplayBytes(subject, data); fail != nil {
 			t.Fatalf("%s", fail.Msg)

@@ -91,8 +91,10 @@ func Shrink(f *Failure, logf func(format string, args ...any)) *Failure {
 // Go's native fuzzing. The first 8 bytes seed the heap/HTM RNGs; seed
 // bit 4 selects the epoch flusher shard count (set = 4 shards, clear =
 // serial), bit 5 the advance mode (set = pipelined async, clear =
-// sync), and bits 6-8 the durability engine (modulo durability.Names()),
-// so the fuzzer's inputs exercise every persistence-path configuration.
+// sync), bits 6-8 the durability engine (modulo durability.Names()),
+// and bits 9-10 the recovery worker count (1 << bits, i.e. {1, 2, 4,
+// 8}), so the fuzzer's inputs exercise every persistence-path and
+// recovery configuration.
 // Each following byte decodes to one action on a 32-key universe:
 //
 //	b>>5 == 0,1,7  insert key b&31
@@ -128,6 +130,7 @@ func ReplayBytes(subject string, data []byte) *Failure {
 	}
 	names := durability.Names()
 	p.Engine = names[(p.Seed>>6)&7%uint64(len(names))]
+	p.RWorkers = 1 << ((p.Seed >> 9) & 3)
 	s := newSession(p, sub)
 	fail := func(err error) *Failure {
 		return &Failure{Params: p, Msg: fmt.Sprintf("%s (native fuzz input, seed 0x%x)", err, p.Seed)}

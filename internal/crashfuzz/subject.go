@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 
+	"bdhtm/internal/epoch"
 	"bdhtm/internal/htm"
 	"bdhtm/internal/nvm"
 	"bdhtm/internal/obs"
@@ -54,6 +55,11 @@ type Env struct {
 	// Engine names the durability engine buffered subjects close epochs
 	// with (epoch.Config.Engine; "" = the default BDL engine).
 	Engine string
+	// RecoveryWorkers partitions the recovery header scan across this
+	// many goroutines (epoch.Config.RecoveryWorkers; 0/1 = serial). The
+	// palloc subject threads it into palloc.Allocator.RecoverParallel
+	// directly.
+	RecoveryWorkers int
 	// OnAdvance is forwarded to epoch.Config.OnAdvance for buffered
 	// subjects; the engine snapshots its model there.
 	OnAdvance func(persisted uint64)
@@ -62,6 +68,20 @@ type Env struct {
 	// with an active tracer, so every fuzzed schedule also exercises the
 	// telemetry hooks across crash and recovery.
 	Obs *obs.Recorder
+}
+
+// epochCfg is the epoch.Config every buffered subject opens (and
+// recovers) its system with.
+func (e Env) epochCfg() epoch.Config {
+	return epoch.Config{
+		Manual:          true,
+		Shards:          e.Shards,
+		Async:           e.Async,
+		Engine:          e.Engine,
+		RecoveryWorkers: e.RecoveryWorkers,
+		OnAdvance:       e.OnAdvance,
+		Obs:             e.Obs,
+	}
 }
 
 // TM builds the round's transactional memory from the env's injection
@@ -147,6 +167,15 @@ type Subject interface {
 // audit run after recovery and the generic state check.
 type InvariantChecker interface {
 	CheckInvariants(recovered map[uint64]uint64) error
+}
+
+// RecoveryRecorder is an optional Subject extension exposing the
+// BlockRecords the last Recover delivered to the rebuild callback, in
+// delivery order. The parallel-recovery equivalence matrix compares the
+// record sequence across worker counts; buffered subjects implement it,
+// strict subjects (no epoch rebuild) do not.
+type RecoveryRecorder interface {
+	RecoveryRecords() []epoch.BlockRecord
 }
 
 // --- registry ---------------------------------------------------------------

@@ -43,10 +43,10 @@ type workerKV struct {
 	w   *epoch.Worker
 }
 
-func (h *workerKV) Insert(k, v uint64) bool      { return h.ins(h.w, k, v) }
-func (h *workerKV) Remove(k uint64) bool         { return h.rem(h.w, k) }
-func (h *workerKV) Get(k uint64) (uint64, bool)  { return h.get(k) }
-func (h *workerKV) LastWriteEpoch() uint64       { return h.w.OpEpoch() }
+func (h *workerKV) Insert(k, v uint64) bool     { return h.ins(h.w, k, v) }
+func (h *workerKV) Remove(k uint64) bool        { return h.rem(h.w, k) }
+func (h *workerKV) Get(k uint64) (uint64, bool) { return h.get(k) }
+func (h *workerKV) LastWriteEpoch() uint64      { return h.w.OpEpoch() }
 
 // strictKV adapts the plain (k, v) method shape shared by cceh and
 // lbtree.
@@ -69,6 +69,7 @@ type bdhashSubject struct {
 	sys  *epoch.System
 	tab  *bdhash.Table
 	hs   []Handle
+	recs []epoch.BlockRecord // last Recover's rebuild records
 }
 
 func (s *bdhashSubject) Name() string           { return "bdhash" }
@@ -78,7 +79,7 @@ func (s *bdhashSubject) MaxKeySpace() uint64    { return 1 << 40 }
 func (s *bdhashSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, env.epochCfg())
 	s.build(env.TM())
 }
 
@@ -90,26 +91,29 @@ func (s *bdhashSubject) build(tm *htm.TM) {
 	}
 }
 
-func (s *bdhashSubject) Handle(i int) Handle          { return s.hs[i] }
-func (s *bdhashSubject) Heap() *nvm.Heap              { return s.heap }
-func (s *bdhashSubject) GlobalEpoch() uint64          { return s.sys.GlobalEpoch() }
-func (s *bdhashSubject) PersistedEpoch() uint64       { return s.sys.PersistedEpoch() }
-func (s *bdhashSubject) Advance()                     { s.sys.AdvanceOnce() }
-func (s *bdhashSubject) Crash(opts nvm.CrashOptions)  { s.sys.SimulateCrash(opts) }
-func (s *bdhashSubject) Len() int                     { return s.tab.Len() }
-func (s *bdhashSubject) LiveBlocks() int64            { return s.sys.Allocator().LiveBlocks() }
+func (s *bdhashSubject) Handle(i int) Handle         { return s.hs[i] }
+func (s *bdhashSubject) Heap() *nvm.Heap             { return s.heap }
+func (s *bdhashSubject) GlobalEpoch() uint64         { return s.sys.GlobalEpoch() }
+func (s *bdhashSubject) PersistedEpoch() uint64      { return s.sys.PersistedEpoch() }
+func (s *bdhashSubject) Advance()                    { s.sys.AdvanceOnce() }
+func (s *bdhashSubject) Crash(opts nvm.CrashOptions) { s.sys.SimulateCrash(opts) }
+func (s *bdhashSubject) Len() int                    { return s.tab.Len() }
+func (s *bdhashSubject) LiveBlocks() int64           { return s.sys.Allocator().LiveBlocks() }
 
 func (s *bdhashSubject) Recover() (err error) {
 	defer recoverToErr("bdhash", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, s.env.epochCfg(),
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
+	s.recs = recs
 	s.build(s.env.TM())
 	for _, r := range recs {
 		s.tab.RebuildBlock(r)
 	}
 	return nil
 }
+
+func (s *bdhashSubject) RecoveryRecords() []epoch.BlockRecord { return s.recs }
 
 // --- veb (PHTM-vEB) ---------------------------------------------------------
 
@@ -121,6 +125,7 @@ type vebSubject struct {
 	sys  *epoch.System
 	tree *veb.Tree
 	hs   []Handle
+	recs []epoch.BlockRecord // last Recover's rebuild records
 }
 
 func (s *vebSubject) Name() string           { return "veb" }
@@ -130,7 +135,7 @@ func (s *vebSubject) MaxKeySpace() uint64    { return 1 << vebUniverseBits }
 func (s *vebSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, env.epochCfg())
 	s.build(env.TM())
 }
 
@@ -154,14 +159,17 @@ func (s *vebSubject) LiveBlocks() int64           { return s.sys.Allocator().Liv
 func (s *vebSubject) Recover() (err error) {
 	defer recoverToErr("veb", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, s.env.epochCfg(),
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
+	s.recs = recs
 	s.build(s.env.TM())
 	for _, r := range recs {
 		s.tree.RebuildBlock(r)
 	}
 	return nil
 }
+
+func (s *vebSubject) RecoveryRecords() []epoch.BlockRecord { return s.recs }
 
 // --- skiplist (BDL) ---------------------------------------------------------
 
@@ -171,6 +179,7 @@ type skiplistSubject struct {
 	sys  *epoch.System
 	list *skiplist.List
 	hs   []Handle
+	recs []epoch.BlockRecord // last Recover's rebuild records
 }
 
 type skiplistHandle struct{ h *skiplist.Handle }
@@ -187,7 +196,7 @@ func (s *skiplistSubject) MaxKeySpace() uint64    { return 1 << 40 }
 func (s *skiplistSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, env.epochCfg())
 	s.build(env.TM())
 }
 
@@ -217,14 +226,17 @@ func (s *skiplistSubject) LiveBlocks() int64           { return s.sys.Allocator(
 func (s *skiplistSubject) Recover() (err error) {
 	defer recoverToErr("skiplist", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, s.env.epochCfg(),
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
+	s.recs = recs
 	s.build(s.env.TM())
 	for _, r := range recs {
 		s.list.RebuildBlock(r)
 	}
 	return nil
 }
+
+func (s *skiplistSubject) RecoveryRecords() []epoch.BlockRecord { return s.recs }
 
 // --- spash (BD-Spash) -------------------------------------------------------
 
@@ -234,6 +246,7 @@ type spashSubject struct {
 	sys  *epoch.System
 	tab  *spash.Table
 	hs   []Handle
+	recs []epoch.BlockRecord // last Recover's rebuild records
 }
 
 func (s *spashSubject) Name() string           { return "spash" }
@@ -243,7 +256,7 @@ func (s *spashSubject) MaxKeySpace() uint64    { return 1 << 40 }
 func (s *spashSubject) Init(env Env) {
 	s.env = env
 	s.heap = env.NVMHeap()
-	s.sys = epoch.New(s.heap, epoch.Config{Manual: true, Shards: env.Shards, Async: env.Async, Engine: env.Engine, OnAdvance: env.OnAdvance, Obs: env.Obs})
+	s.sys = epoch.New(s.heap, env.epochCfg())
 	s.build(env.TM())
 }
 
@@ -267,14 +280,17 @@ func (s *spashSubject) LiveBlocks() int64           { return s.sys.Allocator().L
 func (s *spashSubject) Recover() (err error) {
 	defer recoverToErr("spash", &err)
 	var recs []epoch.BlockRecord
-	s.sys = epoch.Recover(s.heap, epoch.Config{Manual: true, Shards: s.env.Shards, Async: s.env.Async, Engine: s.env.Engine, OnAdvance: s.env.OnAdvance, Obs: s.env.Obs},
+	s.sys = epoch.Recover(s.heap, s.env.epochCfg(),
 		func(r epoch.BlockRecord) { recs = append(recs, r) })
+	s.recs = recs
 	s.build(s.env.TM())
 	for _, r := range recs {
 		s.tab.RebuildBlock(r)
 	}
 	return nil
 }
+
+func (s *spashSubject) RecoveryRecords() []epoch.BlockRecord { return s.recs }
 
 // --- cceh (strict) ----------------------------------------------------------
 
@@ -472,9 +488,15 @@ func (s *pallocSubject) Recover() (err error) {
 	defer recoverToErr("palloc", &err)
 	s.mu = sync.Mutex{}
 	s.al = palloc.New(s.heap)
-	s.al.Recover(func(bi palloc.BlockInfo) bool {
-		return bi.Header.Status == palloc.Allocated && bi.Header.Epoch == pallocEpoch
-	})
+	if w := s.env.RecoveryWorkers; w > 1 {
+		s.al.RecoverParallel(w, func(_ int, bi palloc.BlockInfo) bool {
+			return bi.Header.Status == palloc.Allocated && bi.Header.Epoch == pallocEpoch
+		})
+	} else {
+		s.al.Recover(func(bi palloc.BlockInfo) bool {
+			return bi.Header.Status == palloc.Allocated && bi.Header.Epoch == pallocEpoch
+		})
+	}
 	live := make(map[uint64]nvm.Addr)
 	var dup error
 	s.al.Scan(func(bi palloc.BlockInfo) {

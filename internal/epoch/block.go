@@ -13,7 +13,7 @@ import (
 //
 //   - epoch == op epoch: the block may be updated in place;
 //   - epoch < op epoch: the block must be replaced out-of-place (new block
-//     + PRetire of the old one) so that recovery can roll back to it;
+//   - PRetire of the old one) so that recovery can roll back to it;
 //   - epoch > op epoch: the operation is too old — abort the transaction
 //     with OldSeeNewCode, AbortOp, and restart in the current epoch.
 type Block struct {

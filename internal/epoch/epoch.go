@@ -100,6 +100,20 @@ type Config struct {
 	// the epoch is published — deterministically modeling a flusher that
 	// caught up before the next advance.
 	Async bool
+	// RecoveryWorkers is the number of goroutines Recover partitions the
+	// slab header scan across (Sec. 5.2's judgment is independent per
+	// block, so the scan parallelizes by slab range). 0 or 1 selects the
+	// serial scan; values are clamped to [1, 64]. The engine's media
+	// repair and the rebuild-callback replay stay serial either way, and
+	// the rebuilt state is bit-identical to the serial scan's.
+	RecoveryWorkers int
+	// RecoveryTick, when non-nil, is called periodically during
+	// Recover's header scan with live progress: slabs scanned, blocks
+	// recovered so far, resurrections so far. Calls may come
+	// concurrently from recovery worker goroutines, so implementations
+	// must be thread-safe and cheap. cmd/bdrecover uses it for its live
+	// progress report.
+	RecoveryTick func(slabs, recovered, resurrected int64)
 	// Engine selects the durability engine that persists each closing
 	// epoch: "bdl" (default — the paper's buffered-durability epoch
 	// engine), "undo", "redo4f", "redo2f" or "quadra" (see package
@@ -131,6 +145,12 @@ func (c Config) withDefaults() Config {
 	for c.Shards&(c.Shards-1) != 0 {
 		c.Shards &= c.Shards - 1
 	}
+	if c.RecoveryWorkers < 1 {
+		c.RecoveryWorkers = 1
+	}
+	if c.RecoveryWorkers > 64 {
+		c.RecoveryWorkers = 64
+	}
 	return c
 }
 
@@ -142,6 +162,14 @@ type Stats struct {
 	FreedBlocks   int64 // retired blocks actually reclaimed
 	Resurrected   int64 // deleted-but-unpersisted blocks revived by recovery
 	RecoveredLive int64 // live blocks handed to the rebuild callback
+
+	// Recovery timing for a system opened by Recover (zero for systems
+	// created by New): the header-scan duration (engine repair + palloc
+	// judgment + write-back), the rebuild-callback replay duration, and
+	// the worker count the scan actually used.
+	RecoveryScanNS    int64
+	RecoveryRebuildNS int64
+	RecoveryWorkers   int
 
 	Shards       int   // persistence-path shard count (Config.Shards)
 	Async        bool  // pipelined advancer (Config.Async)
@@ -217,6 +245,9 @@ type System struct {
 	backpressure  atomic.Int64
 	resurrected   atomic.Int64
 	recoveredLive atomic.Int64
+
+	recoveryScanNS    atomic.Int64 // set once by Recover
+	recoveryRebuildNS atomic.Int64 // set once by Recover
 
 	shardCtrs []shardCtr    // per-shard flushed/retired/freed
 	advSeq    atomic.Uint64 // seqlock over each task's counter burst
@@ -449,6 +480,11 @@ func (s *System) Stats() Stats {
 	}
 	st.Resurrected = s.resurrected.Load()
 	st.RecoveredLive = s.recoveredLive.Load()
+	st.RecoveryScanNS = s.recoveryScanNS.Load()
+	st.RecoveryRebuildNS = s.recoveryRebuildNS.Load()
+	if st.RecoveryScanNS > 0 {
+		st.RecoveryWorkers = s.cfg.RecoveryWorkers
+	}
 	st.AdvanceP99NS = s.advHist.Snapshot().Quantile(0.99)
 	st.Engine = s.eng.Name()
 	a := s.eng.Accounting()

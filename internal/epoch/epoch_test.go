@@ -332,7 +332,7 @@ func TestBDLPrefixConsistency(t *testing.T) {
 		s := New(h, Config{Manual: true})
 		w := s.Register()
 
-		live := make(map[uint64]Block)  // current model state
+		live := make(map[uint64]Block) // current model state
 		type snap struct{ keys map[uint64]uint64 }
 		snaps := make(map[uint64]snap) // state at the end of each epoch
 		snapshot := func() snap {

@@ -2,6 +2,7 @@ package epoch
 
 import (
 	"fmt"
+	"time"
 
 	"bdhtm/internal/nvm"
 	"bdhtm/internal/obs"
@@ -36,9 +37,19 @@ type BlockRecord struct {
 //     deletion persisted — is reclaimed by the allocator.
 //
 // For every recovered block, rebuild is called so the caller can
-// reconstruct its DRAM index; calls are made from a single goroutine.
+// reconstruct its DRAM index; calls are made from a single goroutine,
+// in address order, after the header scan completes.
 // On an eADR heap every store was durable at the point of visibility, so
 // all ALLOCATED blocks are recovered regardless of epoch.
+//
+// With cfg.RecoveryWorkers > 1 the header scan is partitioned across
+// that many goroutines by slab range (the judgment above is independent
+// per block); the engine's media repair stays serial, resurrection
+// write-backs from all workers are batched through nvm.FlushExtents
+// under the single trailing fence, and per-worker results are merged in
+// slab order, so the rebuilt state — persistent image, allocator free
+// lists, and the rebuild-record sequence — is bit-identical to the
+// serial scan's.
 //
 // The returned system starts a fresh epoch strictly above every recovered
 // epoch. Recover panics if the heap was never formatted by New, or if
@@ -51,6 +62,7 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 	eadr := h.Mode() == nvm.ModeEADR
 
 	s := newSystem(h, cfg)
+	scanStart := time.Now()
 	// The engine repairs the persistent image first — rolling back or
 	// replaying any commit its discipline left interrupted — and supplies
 	// the watermark P the header judgment below is made against.
@@ -58,7 +70,25 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 	s.global.Store(p + 2)
 	s.persisted.Store(p)
 
-	s.alloc.Recover(func(bi palloc.BlockInfo) bool {
+	// Per-worker accumulators. Workers own contiguous ascending slab
+	// ranges, so concatenating in worker order reproduces the serial
+	// scan's record order; resurrection extents are flushed in batches
+	// under the one trailing fence instead of per-block.
+	workers := cfg.RecoveryWorkers
+	type workerState struct {
+		recs      []BlockRecord
+		resurrect []nvm.Extent
+		sinceTick int
+	}
+	ws := make([]workerState, workers)
+	judge := func(w int, bi palloc.BlockInfo) bool {
+		st := &ws[w]
+		if cfg.RecoveryTick != nil {
+			if st.sinceTick++; st.sinceTick >= 1024 {
+				st.sinceTick = 0
+				cfg.RecoveryTick(s.alloc.ScanProgress(), s.recoveredLive.Load(), s.resurrected.Load())
+			}
+		}
 		hdr := bi.Header
 		if hdr.Epoch == palloc.InvalidEpoch {
 			return false // preallocated, never used
@@ -70,7 +100,7 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 			}
 			s.recoveredLive.Add(1)
 			if rebuild != nil {
-				rebuild(BlockRecord{
+				st.recs = append(st.recs, BlockRecord{
 					Block: Block{sys: s, addr: bi.Addr},
 					Tag:   hdr.Tag,
 					Epoch: hdr.Epoch,
@@ -85,14 +115,16 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 				return false // never persisted in the first place
 			}
 			// Deleted in an epoch that was lost: roll the deletion back.
+			// The store is volatile here; the write-back rides the
+			// batched FlushExtents below, under the trailing fence.
 			hdr.Status = palloc.Allocated
 			h.Store(bi.Addr, hdr.Pack())
 			h.Store(bi.Addr+1, 0)
-			h.Flush(bi.Addr)
+			st.resurrect = append(st.resurrect, nvm.Extent{Addr: bi.Addr, Words: palloc.HeaderWords})
 			s.resurrected.Add(1)
 			s.recoveredLive.Add(1)
 			if rebuild != nil {
-				rebuild(BlockRecord{
+				st.recs = append(st.recs, BlockRecord{
 					Block:       Block{sys: s, addr: bi.Addr},
 					Tag:         hdr.Tag,
 					Epoch:       hdr.Epoch,
@@ -103,12 +135,40 @@ func Recover(h *nvm.Heap, cfg Config, rebuild func(BlockRecord)) *System {
 		default:
 			return false
 		}
-	})
+	}
+	if workers == 1 {
+		s.alloc.Recover(func(bi palloc.BlockInfo) bool { return judge(0, bi) })
+	} else {
+		s.alloc.RecoverParallel(workers, judge)
+	}
+	for i := range ws {
+		if len(ws[i].resurrect) > 0 {
+			h.FlushExtents(ws[i].resurrect)
+		}
+	}
 	h.Fence()
+	s.recoveryScanNS.Store(max(time.Since(scanStart).Nanoseconds(), 1))
+	if cfg.RecoveryTick != nil {
+		cfg.RecoveryTick(s.alloc.ScanProgress(), s.recoveredLive.Load(), s.resurrected.Load())
+	}
+
+	// Serialized merge: replay the rebuild records from one goroutine,
+	// in slab (address) order, preserving the documented contract.
+	rebuildStart := time.Now()
+	if rebuild != nil {
+		for i := range ws {
+			for _, r := range ws[i].recs {
+				rebuild(r)
+			}
+		}
+	}
+	s.recoveryRebuildNS.Store(max(time.Since(rebuildStart).Nanoseconds(), 1))
 
 	// The watermark was already re-persisted by the engine's Recover.
 	if cfg.Obs != nil {
 		cfg.Obs.Hit(obs.MRecoveries, obs.EvRecover, p, uint64(s.recoveredLive.Load()))
+		cfg.Obs.MetricAdd(obs.MRecoveredBlocks, 0, s.recoveredLive.Load())
+		cfg.Obs.MetricAdd(obs.MResurrectedBlocks, 0, s.resurrected.Load())
 	}
 	s.startAdvancer()
 	return s

@@ -50,6 +50,9 @@ type Opts struct {
 	// Engine selects the durability engine for buffered-durable subjects
 	// ("" = the default BDL epoch engine; see durability.Names).
 	Engine string
+	// RecoveryWorkers partitions the recovery header scan across this
+	// many goroutines (0/1 = serial; see epoch.Config.RecoveryWorkers).
+	RecoveryWorkers int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -105,12 +108,13 @@ func (o Opts) tm() *htm.TM {
 
 func (o Opts) epochCfg() epoch.Config {
 	return epoch.Config{
-		EpochLength: o.EpochLength,
-		Manual:      o.Manual,
-		Shards:      o.EpochShards,
-		Async:       o.AsyncAdvance,
-		Engine:      o.Engine,
-		Obs:         o.Obs,
+		EpochLength:     o.EpochLength,
+		Manual:          o.Manual,
+		Shards:          o.EpochShards,
+		Async:           o.AsyncAdvance,
+		Engine:          o.Engine,
+		RecoveryWorkers: o.RecoveryWorkers,
+		Obs:             o.Obs,
 	}
 }
 
@@ -136,8 +140,8 @@ type vebMap struct {
 	w *epoch.Worker
 }
 
-func (m vebMap) Insert(k, v uint64) bool    { return m.t.Insert(m.w, k, v) }
-func (m vebMap) Remove(k uint64) bool       { return m.t.Remove(m.w, k) }
+func (m vebMap) Insert(k, v uint64) bool     { return m.t.Insert(m.w, k, v) }
+func (m vebMap) Remove(k uint64) bool        { return m.t.Remove(m.w, k) }
 func (m vebMap) Get(k uint64) (uint64, bool) { return m.t.Get(k) }
 
 // NewHTMvEB builds the transient HTM-vEB tree.

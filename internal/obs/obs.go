@@ -191,6 +191,14 @@ const (
 	MServeAppliedAcks // applied acks written (buffered mode)
 	MServeDurableAcks // durable acks written by the group-commit acker
 
+	// Recovery-outcome counters (appended; enum order is part of the
+	// trace format). epoch.Recover bumps these once per pass with the
+	// header-judgment totals, so recovered-block counts are comparable
+	// across worker counts from telemetry alone (the parallel-recovery
+	// equivalence matrix pins them identical to the serial scan).
+	MRecoveredBlocks   // live blocks recovered by the header judgment
+	MResurrectedBlocks // deleted-but-unpersisted blocks rolled back to live
+
 	NumMetrics
 )
 
@@ -234,6 +242,10 @@ func (m Metric) String() string {
 		return "serve-applied-acks"
 	case MServeDurableAcks:
 		return "serve-durable-acks"
+	case MRecoveredBlocks:
+		return "recovered-blocks"
+	case MResurrectedBlocks:
+		return "resurrected-blocks"
 	default:
 		return fmt.Sprintf("Metric(%d)", uint8(m))
 	}

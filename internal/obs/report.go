@@ -92,11 +92,12 @@ type BenchRow struct {
 	ElapsedNS int64   `json:"elapsed_ns"`
 	Mops      float64 `json:"mops_per_sec"`
 
-	Latency *LatencySummary `json:"latency_ns,omitempty"`
-	HTM     *HTMSummary     `json:"htm,omitempty"`
-	NVM     *NVMSummary     `json:"nvm,omitempty"`
-	Epoch   *EpochSummary   `json:"epoch,omitempty"`
-	Net     *NetSummary     `json:"net,omitempty"`
+	Latency  *LatencySummary  `json:"latency_ns,omitempty"`
+	HTM      *HTMSummary      `json:"htm,omitempty"`
+	NVM      *NVMSummary      `json:"nvm,omitempty"`
+	Epoch    *EpochSummary    `json:"epoch,omitempty"`
+	Net      *NetSummary      `json:"net,omitempty"`
+	Recovery *RecoverySummary `json:"recovery,omitempty"`
 }
 
 // LatencySummary holds per-operation latency percentiles in nanoseconds.
@@ -194,6 +195,18 @@ type NetSummary struct {
 	// window (2) when acks drain promptly.
 	AckLagEpochs int64 `json:"ack_lag_epochs"`
 	ProtoErrors  int64 `json:"proto_errors,omitempty"`
+}
+
+// RecoverySummary is one measured crash-recovery point from the recover
+// experiment: a heap of HeapWords scanned by Workers goroutines (omitted
+// by rows from non-recovery experiments).
+type RecoverySummary struct {
+	HeapWords       int64 `json:"heap_words"`
+	Workers         int   `json:"workers"`
+	ScanNS          int64 `json:"scan_ns"`
+	RebuildNS       int64 `json:"rebuild_ns"`
+	BlocksRecovered int64 `json:"blocks_recovered"`
+	Resurrected     int64 `json:"resurrected"`
 }
 
 // EpochShardSummary is one flusher shard's slice of the epoch counters.
@@ -300,6 +313,23 @@ func ValidateReport(data []byte) error {
 					return fmt.Errorf("%s: per_shard sums (%d,%d,%d) != aggregates (%d,%d,%d)",
 						where, f, r, fr, e.FlushedBlocks, e.RetiredBlocks, e.FreedBlocks)
 				}
+			}
+		}
+		if rc := row.Recovery; rc != nil {
+			if rc.HeapWords < 1 {
+				return fmt.Errorf("%s: recovery heap_words %d < 1", where, rc.HeapWords)
+			}
+			if rc.Workers < 1 {
+				return fmt.Errorf("%s: recovery workers %d < 1", where, rc.Workers)
+			}
+			if rc.ScanNS <= 0 || rc.RebuildNS < 0 {
+				return fmt.Errorf("%s: recovery timings not positive (scan %d, rebuild %d)", where, rc.ScanNS, rc.RebuildNS)
+			}
+			if rc.BlocksRecovered < 0 || rc.Resurrected < 0 {
+				return fmt.Errorf("%s: negative recovery block counters", where)
+			}
+			if rc.Resurrected > rc.BlocksRecovered {
+				return fmt.Errorf("%s: resurrected %d > blocks recovered %d", where, rc.Resurrected, rc.BlocksRecovered)
 			}
 		}
 		if n := row.Net; n != nil {

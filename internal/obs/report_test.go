@@ -55,6 +55,11 @@ func fixedReport() *Report {
 			NetP50NS: 25000, NetP99NS: 180000,
 			AckedApplied: 40000, AckedDurable: 40000, AckLagEpochs: 2,
 		},
+		Recovery: &RecoverySummary{
+			HeapWords: 1 << 21, Workers: 4,
+			ScanNS: 1200000, RebuildNS: 800000,
+			BlocksRecovered: 40000, Resurrected: 120,
+		},
 	})
 	rep.Append(BenchRow{
 		Experiment: "fig1",
@@ -146,6 +151,12 @@ func TestValidateReportRejects(t *testing.T) {
 			ps := r.Results[0].Epoch.PerShard
 			ps[0].FreedBlocks = ps[0].RetiredBlocks + 1
 		}, "per_shard[0] freed"},
+		{"recovery zero workers", func(r *Report) { r.Results[0].Recovery.Workers = 0 }, "recovery workers"},
+		{"recovery zero heap", func(r *Report) { r.Results[0].Recovery.HeapWords = 0 }, "recovery heap_words"},
+		{"recovery zero scan time", func(r *Report) { r.Results[0].Recovery.ScanNS = 0 }, "recovery timings"},
+		{"recovery resurrected > recovered", func(r *Report) {
+			r.Results[0].Recovery.Resurrected = r.Results[0].Recovery.BlocksRecovered + 1
+		}, "resurrected"},
 		{"net zero conns", func(r *Report) { r.Results[0].Net.Conns = 0 }, "net conns"},
 		{"net bad mode", func(r *Report) { r.Results[0].Net.Mode = "burst" }, "net mode"},
 		{"net percentile inversion", func(r *Report) { r.Results[0].Net.NetP50NS = r.Results[0].Net.NetP99NS + 1 }, "net percentiles"},

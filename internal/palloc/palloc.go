@@ -136,6 +136,7 @@ type Allocator struct {
 	liveBlocks atomic.Int64
 	liveBytes  atomic.Int64
 	peakBytes  atomic.Int64
+	scanSlabs  atomic.Int64 // live recovery-scan progress (see ScanProgress)
 
 	obs *obs.Recorder
 }
@@ -389,6 +390,7 @@ func (al *Allocator) Recover(judge func(BlockInfo) bool) {
 	al.liveBlocks.Store(0)
 	al.liveBytes.Store(0)
 	al.formatted = 0
+	al.scanSlabs.Store(0)
 	for _, m := range al.mags {
 		m.mu.Lock()
 		for c := range m.free {
@@ -421,6 +423,7 @@ func (al *Allocator) Recover(judge func(BlockInfo) bool) {
 				al.free[class] = append(al.free[class], b)
 			}
 		}
+		al.scanSlabs.Add(1)
 	}
 	al.heap.Fence()
 	bytes := al.liveBytes.Load()
