@@ -89,12 +89,12 @@ func main() {
 		benchObs.StartTrace(1 << 16)
 	}
 	if *httpAddr != "" {
-		addr, err := obs.StartHTTP(*httpAddr, benchObs)
+		hs, err := obs.StartHTTP(*httpAddr, benchObs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bdbench: -http: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("obs endpoint: http://%s/obs (expvar at /debug/vars, pprof at /debug/pprof)\n", addr)
+		fmt.Printf("obs endpoint: http://%s/obs (metrics at /metrics, expvar at /debug/vars, pprof at /debug/pprof)\n", hs.Addr())
 	}
 	var collector *harness.Collector
 	if *jsonOut != "" {

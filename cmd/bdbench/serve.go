@@ -7,6 +7,7 @@ import (
 
 	"bdhtm/internal/bdserve"
 	"bdhtm/internal/harness"
+	"bdhtm/internal/htm"
 	"bdhtm/internal/loadgen"
 	"bdhtm/internal/obs"
 	"bdhtm/internal/ycsb"
@@ -35,6 +36,14 @@ func serve() {
 
 	mix, _ := ycsb.WorkloadMix(workload)
 	for _, sync := range []bool{false, true} {
+		mode := "buffered"
+		if sync {
+			mode = "sync"
+		}
+		// Each mode gets its own recorder so the SLO histograms conserve
+		// exactly against this run's ack ledger (the validator enforces
+		// durable_samples == acked_durable per row).
+		sloObs := obs.New("bdbench-serve-" + mode)
 		srv := bdserve.New(bdserve.Config{
 			KeySpace:    *keySpace,
 			EpochLength: 2 * time.Millisecond,
@@ -42,7 +51,7 @@ func serve() {
 			Async:       *asyncAdv,
 			Engine:      *engineFlag,
 			SyncAcks:    sync,
-			Obs:         benchObs,
+			Obs:         sloObs,
 		})
 		addr, err := srv.Start("127.0.0.1:0")
 		if err != nil {
@@ -61,6 +70,7 @@ func serve() {
 			SyncAcks: sync,
 		})
 		st := srv.Stats()
+		tmStats := srv.TMStats()
 		srv.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bdbench: serve: %v\n", err)
@@ -77,10 +87,6 @@ func serve() {
 			os.Exit(1)
 		}
 
-		mode := "buffered"
-		if sync {
-			mode = "sync"
-		}
 		kops := float64(res.Ops) / res.Elapsed.Seconds() / 1e3
 		fmt.Printf("%-10s %12.1f %14s %14s %12d %12d\n",
 			mode, kops,
@@ -104,7 +110,46 @@ func serve() {
 				AckedApplied: res.AppliedAcks,
 				AckedDurable: res.DurableAcks,
 				AckLagEpochs: st.MaxAckLag,
+				SLO:          serveSLO(sloObs, tmStats),
 			},
 		})
 	}
+}
+
+// serveSLO folds the server-side SLO histograms and the HTM abort
+// breakdown into the report's slo block.
+func serveSLO(r *obs.Recorder, tm htm.StatsSnapshot) *obs.NetSLO {
+	applied := r.SvcSnapshot(obs.SvcAppliedAckNS)
+	durable := r.SvcSnapshot(obs.SvcDurableAckNS)
+	lagNS := r.SvcSnapshot(obs.SvcAckLagNS)
+	lagEp := r.SvcSnapshot(obs.SvcAckLagEpochs)
+	slo := &obs.NetSLO{
+		AppliedAckP50NS: applied.Quantile(0.50),
+		AppliedAckP99NS: applied.Quantile(0.99),
+		DurableAckP50NS: durable.Quantile(0.50),
+		DurableAckP99NS: durable.Quantile(0.99),
+		AckLagP50NS:     lagNS.Quantile(0.50),
+		AckLagP99NS:     lagNS.Quantile(0.99),
+		AckLagP50Epochs: lagEp.Quantile(0.50),
+		AckLagP99Epochs: lagEp.Quantile(0.99),
+		DurableSamples:  durable.Count,
+	}
+	causes := map[string]int64{
+		"conflict":   tm.Conflict,
+		"capacity":   tm.Capacity,
+		"explicit":   tm.Explicit,
+		"locked":     tm.Locked,
+		"spurious":   tm.Spurious,
+		"memtype":    tm.MemType,
+		"persist-op": tm.PersistOp,
+	}
+	for k, v := range causes {
+		if v == 0 {
+			delete(causes, k)
+		}
+	}
+	if len(causes) > 0 {
+		slo.AbortCauses = causes
+	}
+	return slo
 }

@@ -23,6 +23,7 @@ import (
 	"bdhtm/internal/epoch"
 	"bdhtm/internal/htm"
 	"bdhtm/internal/nvm"
+	"bdhtm/internal/obs"
 	"bdhtm/internal/skiplist"
 	"bdhtm/internal/spash"
 	"bdhtm/internal/veb"
@@ -35,6 +36,7 @@ var (
 	tail       = flag.Int("tail", 1000, "unsynced operations issued after the checkpoint")
 	engineFlag = flag.String("engine", "", "durability engine (default bdl; see internal/durability)")
 	workers    = flag.Int("workers", 1, "recovery scan worker goroutines")
+	obsHTTP    = flag.String("obs-http", "", "serve /obs, /metrics and /debug/pprof on this address during the run")
 )
 
 // rebuilder abstracts "rebuild the DRAM index from recovered blocks".
@@ -64,7 +66,8 @@ type runConfig struct {
 	tail      int
 	engine    string // "" = default (bdl); must match on both sides of the crash
 	workers   int
-	progress  bool // live scan progress on out (main only; tests keep it off)
+	progress  bool          // live scan progress on out (main only; tests keep it off)
+	obs       *obs.Recorder // nil disables telemetry
 	out       io.Writer
 }
 
@@ -76,6 +79,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var rec *obs.Recorder
+	if *obsHTTP != "" {
+		rec = obs.New("bdrecover")
+		hs, err := obs.StartHTTP(*obsHTTP, rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdrecover: obs-http: %v\n", err)
+			os.Exit(1)
+		}
+		defer hs.Close()
+		fmt.Printf("bdrecover: observability on http://%s (/obs /metrics /debug/pprof)\n", hs.Addr())
+	}
 	err := run(runConfig{
 		structure: *structure,
 		records:   *records,
@@ -84,6 +98,7 @@ func main() {
 		engine:    *engineFlag,
 		workers:   *workers,
 		progress:  true,
+		obs:       rec,
 		out:       os.Stdout,
 	})
 	if err != nil {
@@ -97,7 +112,7 @@ func run(cfg runConfig) error {
 	// The heap must be formatted and recovered by the same engine: the
 	// engine writes an identity word at format time and recovery panics
 	// on a mismatch, so -engine is threaded into both configs.
-	sys := epoch.New(heap, epoch.Config{Manual: true, Engine: cfg.engine})
+	sys := epoch.New(heap, epoch.Config{Manual: true, Engine: cfg.engine, Obs: cfg.obs})
 
 	insert, _, err := build(cfg.structure, sys, cfg.records)
 	if err != nil {
@@ -118,7 +133,7 @@ func run(cfg runConfig) error {
 	sys.SimulateCrash(nvm.CrashOptions{EvictFraction: cfg.evict})
 	fmt.Fprintf(cfg.out, "-- crash (evict fraction %.2f) --\n", cfg.evict)
 
-	rcfg := epoch.Config{Manual: true, Engine: cfg.engine, RecoveryWorkers: cfg.workers}
+	rcfg := epoch.Config{Manual: true, Engine: cfg.engine, RecoveryWorkers: cfg.workers, Obs: cfg.obs}
 	scanStart := time.Now()
 	if cfg.progress {
 		// Live progress, printed at most every 100ms. The tick arrives

@@ -52,6 +52,11 @@ var (
 	selfConns    = flag.Int("selftest-conns", 4, "selftest connections")
 	selfWorkload = flag.String("selftest-workload", "A", "selftest YCSB workload A-F")
 	obsFlag      = flag.Bool("obs", false, "record obs telemetry")
+	obsHTTP      = flag.String("obs-http", "", "serve /obs, /metrics and /debug/pprof on this address (implies -obs)")
+	spanSample   = flag.Int("span-sample", 0, "trace 1 in N requests as lifecycle spans (0 disables; implies -obs)")
+	traceOut     = flag.String("trace", "", "selftest: write sampled spans as a Chrome trace to this file")
+	spansOut     = flag.String("spans-out", "", "selftest: write sampled spans as JSONL to this file")
+	metricsOut   = flag.String("metrics-out", "", "selftest: write the OpenMetrics exposition to this file")
 
 	recoverN    = flag.Int("recover", 0, "recover-then-serve cold start: fill N keys durably, crash, recover, verify over the wire, then exit")
 	recoverWrks = flag.Int("recover-workers", 4, "recovery scan worker goroutines for -recover")
@@ -79,8 +84,20 @@ func main() {
 		SyncAcks:    *syncAcks,
 		MaxSessions: *maxSessions,
 	}
-	if *obsFlag {
+	if *obsFlag || *obsHTTP != "" || *spanSample > 0 {
 		cfg.Obs = obs.New("bdserve")
+	}
+	if *spanSample > 0 {
+		cfg.Obs.EnableSpans(4096, *spanSample)
+	}
+	if *obsHTTP != "" {
+		hs, err := obs.StartHTTP(*obsHTTP, cfg.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdserve: obs-http: %v\n", err)
+			os.Exit(1)
+		}
+		defer hs.Close()
+		fmt.Printf("bdserve: observability on http://%s (/obs /metrics /debug/pprof)\n", hs.Addr())
 	}
 	if *recoverN > 0 {
 		os.Exit(runRecover(cfg, *recoverN, *recoverWrks))
@@ -170,5 +187,74 @@ func runSelftest(cfg bdserve.Config) int {
 		return fail("server committed %d writes, client finished %d", st.WriteCommits, res.Writes)
 	}
 	fmt.Println("selftest: ack ledger balanced")
+
+	if r := cfg.Obs; r != nil && r.SpanRing() != nil {
+		ring := r.SpanRing()
+		sampled, dropped, active := ring.Counts()
+		spans := ring.Spans()
+		fmt.Printf("selftest: spans sampled=%d dropped=%d completed=%d\n", sampled, dropped, len(spans))
+		if sampled == 0 {
+			return fail("span sampling enabled but no request was sampled")
+		}
+		if active != 0 {
+			return fail("%d orphan spans still active after all acks", active)
+		}
+		// Phase-chain invariants for every completed span: stamped,
+		// monotone, durable preceded by applied, epochs ordered. The
+		// strict two-epoch lag bound is checked by the deterministic
+		// manual-mode tests; a live advancer can outrun a descheduled
+		// acker, so no bound here.
+		if err := obs.CheckSpans(spans, obs.SpanCheck{SyncAcks: cfg.SyncAcks, MaxAckLagEpochs: -1}); err != nil {
+			return fail("span invariant: %v", err)
+		}
+		var lagMax uint64
+		for i := range spans {
+			if spans[i].Write && spans[i].DurableEpoch-spans[i].CommitEpoch > lagMax {
+				lagMax = spans[i].DurableEpoch - spans[i].CommitEpoch
+			}
+		}
+		fmt.Printf("selftest: span chains valid, worst ack lag %d epochs\n", lagMax)
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, func(w *os.File) error {
+				return obs.WriteChromeTrace(w, obs.SpanEvents(spans))
+			}); err != nil {
+				return fail("trace export: %v", err)
+			}
+			fmt.Printf("selftest: chrome trace written to %s\n", *traceOut)
+		}
+		if *spansOut != "" {
+			if err := writeFileWith(*spansOut, func(w *os.File) error {
+				return obs.WriteSpansJSONL(w, spans)
+			}); err != nil {
+				return fail("spans export: %v", err)
+			}
+			fmt.Printf("selftest: span JSONL written to %s\n", *spansOut)
+		}
+	}
+	if r := cfg.Obs; r != nil && *metricsOut != "" {
+		var buf strings.Builder
+		if err := r.WriteOpenMetrics(&buf); err != nil {
+			return fail("metrics render: %v", err)
+		}
+		if err := obs.LintOpenMetrics([]byte(buf.String())); err != nil {
+			return fail("metrics lint: %v", err)
+		}
+		if err := os.WriteFile(*metricsOut, []byte(buf.String()), 0o644); err != nil {
+			return fail("metrics export: %v", err)
+		}
+		fmt.Printf("selftest: openmetrics exposition written to %s (lint clean)\n", *metricsOut)
+	}
 	return 0
+}
+
+func writeFileWith(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

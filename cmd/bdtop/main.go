@@ -1,0 +1,207 @@
+// Command bdtop is a live terminal dashboard for a running bdserve
+// instance, in the spirit of top(1): it polls the wire protocol's STATS
+// opcode (no HTTP endpoint required, no effect on the request path
+// beyond one tiny frame per interval) and renders throughput, the HTM
+// abort breakdown, epoch/flusher state, the ack queue, and a sparkline
+// of the durable-ack lag — the buffered-durability window as it moves.
+//
+//	bdtop [-addr host:port] [-interval 1s]
+//	bdtop -once            print a single snapshot (no ANSI) and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bdhtm/internal/wire"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:7787", "bdserve address")
+	interval = flag.Duration("interval", time.Second, "poll interval")
+	once     = flag.Bool("once", false, "print one snapshot without ANSI control and exit")
+)
+
+const lagWindow = 48 // sparkline width: one cell per poll
+
+func main() {
+	flag.Parse()
+	nc, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdtop: %v\n", err)
+		os.Exit(1)
+	}
+	defer nc.Close()
+	cl := &statsClient{r: wire.NewReader(nc), w: wire.NewWriter(nc), nc: nc}
+
+	if *once {
+		st, err := cl.fetch()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdtop: %v\n", err)
+			os.Exit(1)
+		}
+		render(os.Stdout, *addr, st, nil, 0, nil, false)
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+
+	var prev *wire.StatsSnap
+	var lagHist []float64
+	for {
+		st, err := cl.fetch()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nbdtop: %v\n", err)
+			os.Exit(1)
+		}
+		lagHist = append(lagHist, float64(st.OldestUnackedNS)/1e6) // ms
+		if len(lagHist) > lagWindow {
+			lagHist = lagHist[len(lagHist)-lagWindow:]
+		}
+		fmt.Print("\x1b[H\x1b[2J") // home + clear
+		render(os.Stdout, *addr, st, prev, *interval, lagHist, true)
+		prev = st
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+type statsClient struct {
+	r   *wire.Reader
+	w   *wire.Writer
+	nc  net.Conn
+	seq uint64
+}
+
+// fetch performs one STATS round trip on the dedicated connection.
+func (c *statsClient) fetch() (*wire.StatsSnap, error) {
+	c.seq++
+	if err := c.w.Write(&wire.Msg{Type: wire.CmdStats, ID: c.seq}); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	m, err := c.r.Read()
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != wire.RespStats || m.ID != c.seq || m.Stats == nil {
+		return nil, fmt.Errorf("unexpected frame %s (id %d)", m.Type, m.ID)
+	}
+	return m.Stats, nil
+}
+
+// rate is the per-second delta of a monotone counter between polls.
+func rate(cur, prev uint64, dt time.Duration) float64 {
+	if dt <= 0 || cur < prev {
+		return 0
+	}
+	return float64(cur-prev) / dt.Seconds()
+}
+
+// pct is a safe percentage.
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+var sparkCells = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline scales vals onto the eight block characters; a flat-zero
+// window renders as all-low cells.
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 {
+			i = int(v / max * float64(len(sparkCells)-1))
+		}
+		b.WriteRune(sparkCells[i])
+	}
+	for i := len(vals); i < width; i++ {
+		b.WriteRune(' ')
+	}
+	return b.String()
+}
+
+// bar renders a [####....] progress bar for part/whole.
+func bar(part, whole uint64, width int) string {
+	fill := 0
+	if whole > 0 {
+		fill = int(float64(part) / float64(whole) * float64(width))
+		if fill > width {
+			fill = width
+		}
+	}
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+// render draws one frame. prev may be nil (first poll / -once), in which
+// case rates are omitted.
+func render(w io.Writer, addr string, st, prev *wire.StatsSnap, dt time.Duration, lagHist []float64, live bool) {
+	fmt.Fprintf(w, "bdtop — %s — %s\n\n", addr, time.Now().Format("15:04:05"))
+
+	lag := st.GlobalEpoch - st.PersistedEpoch
+	fmt.Fprintf(w, "epochs    global %-10d durable %-10d lag %d epochs\n",
+		st.GlobalEpoch, st.PersistedEpoch, lag)
+	fmt.Fprintf(w, "          watermark %s  advances %d  backpressure %d  flusher depth %d\n",
+		bar(st.PersistedEpoch, st.GlobalEpoch, 32), st.Advances, st.Backpressure, st.FlusherDepth)
+
+	if prev != nil {
+		fmt.Fprintf(w, "\nthroughput  %8.0f req/s  %8.0f commit/s  %8.0f applied-ack/s  %8.0f durable-ack/s\n",
+			rate(st.Requests, prev.Requests, dt),
+			rate(st.WriteCommits, prev.WriteCommits, dt),
+			rate(st.AppliedAcks, prev.AppliedAcks, dt),
+			rate(st.DurableAcks, prev.DurableAcks, dt))
+	} else {
+		fmt.Fprintf(w, "\ntotals      %8d reqs  %8d commits  %8d applied acks  %8d durable acks\n",
+			st.Requests, st.WriteCommits, st.AppliedAcks, st.DurableAcks)
+	}
+	fmt.Fprintf(w, "service     conns %d open / %d total   inflight %d   ack queue %d   proto errors %d\n",
+		st.OpenConns, st.Conns, st.Inflight, st.AckQueue, st.ProtoErrors)
+	fmt.Fprintf(w, "ack lag     max %d epochs   oldest unacked %s\n",
+		st.MaxAckLagEpochs, time.Duration(st.OldestUnackedNS))
+
+	aborts := st.AbortsConflict + st.AbortsCapacity + st.AbortsInjected + st.AbortsOther
+	attempts := st.TxCommits + aborts
+	fmt.Fprintf(w, "\nhtm         %d commits / %d attempts (%.1f%% commit rate)\n",
+		st.TxCommits, attempts, pct(st.TxCommits, attempts))
+	fmt.Fprintf(w, "aborts      conflict %d (%.1f%%)  capacity %d (%.1f%%)  injected %d (%.1f%%)  other %d (%.1f%%)\n",
+		st.AbortsConflict, pct(st.AbortsConflict, attempts),
+		st.AbortsCapacity, pct(st.AbortsCapacity, attempts),
+		st.AbortsInjected, pct(st.AbortsInjected, attempts),
+		st.AbortsOther, pct(st.AbortsOther, attempts))
+
+	fmt.Fprintf(w, "spans       %d sampled / %d dropped\n", st.SpansSampled, st.SpansDropped)
+	if live {
+		fmt.Fprintf(w, "\noldest-unacked (ms)  %s\n", sparkline(lagHist, lagWindow))
+		fmt.Fprintf(w, "\n^C to quit\n")
+	}
+}

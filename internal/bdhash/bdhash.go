@@ -331,14 +331,25 @@ func (t *Table) preWalk(k uint64) {
 }
 
 // Get returns the value stored under k.
-func (t *Table) Get(k uint64) (uint64, bool) {
+func (t *Table) Get(k uint64) (uint64, bool) { return t.GetW(nil, k) }
+
+// GetW is Get routed through an epoch worker so a service request's
+// sampled span (worker.SetSpan) sees the lookup's HTM attempts; w may be
+// nil (plain Get).
+func (t *Table) GetW(w *epoch.Worker, k uint64) (uint64, bool) {
 	if t.obs != nil {
 		defer t.obs.EndOp(obs.OpLookup, k, t.obs.Now())
+	}
+	attempt := t.tm.Attempt
+	if w != nil {
+		attempt = func(body func(tx *htm.Tx), opts ...htm.AttemptOption) htm.Result {
+			return w.Attempt(t.tm, body, opts...)
+		}
 	}
 	for {
 		var v uint64
 		var ok bool
-		res := t.tm.Attempt(func(tx *htm.Tx) {
+		res := attempt(func(tx *htm.Tx) {
 			tx.Subscribe(t.lock)
 			v, ok = 0, false
 			start, n := t.slotRange(k)

@@ -19,6 +19,9 @@ type outMsg struct {
 	m          wire.Msg
 	seq        uint64
 	closeAfter bool
+
+	sp    *obs.Span // sampled request span (nil for unsampled / non-op frames)
+	decNS int64     // request decode timestamp (0 when obs is off)
 }
 
 // pendingAck is one write op waiting for its epoch to persist. Entries
@@ -30,6 +33,10 @@ type pendingAck struct {
 	ok    bool
 	epoch uint64
 	seq   uint64
+
+	sp    *obs.Span // sampled request span (nil for unsampled)
+	decNS int64     // decode timestamp, for durable-ack latency
+	cmtNS int64     // HTM commit timestamp, for commit→durable lag
 }
 
 type conn struct {
@@ -51,6 +58,7 @@ type conn struct {
 	pending []pendingAck
 
 	seq      uint64       // write-op sequence (reader-only writes)
+	lane     uint64       // obs shard for this connection's metrics/hists
 	inflight atomic.Int64 // this conn's share of the inflight gauge
 }
 
@@ -85,7 +93,6 @@ func (c *conn) readLoop() {
 	defer close(c.readerGone)
 	srv := c.srv
 	r := wire.NewReader(c.nc)
-	lane := uint64(srv.conns64.Load()) % obs.NumShards
 	for {
 		m, err := r.Read()
 		if err != nil {
@@ -115,19 +122,54 @@ func (c *conn) readLoop() {
 			return
 		}
 		srv.requests.Add(1)
-		srv.metric(obs.MServeReqs, lane, 1)
+		srv.metric(obs.MServeReqs, c.lane, 1)
 		c.bumpInflight(1)
+		// Sample a request span (deterministic in the request ID). decNS
+		// doubles as the latency origin for the ack histograms, recorded
+		// for every request whenever obs is on, sampled or not. STATS
+		// frames are introspection, not ops — never sampled.
+		o := srv.cfg.Obs
+		var sp *obs.Span
+		var decNS int64
+		if o != nil && m.Type != wire.CmdStats {
+			decNS = o.Now()
+			sp = o.SampleSpan(m.ID, c.lane, uint8(m.Type))
+		}
 		switch m.Type {
 		case wire.CmdGet:
+			if sp != nil {
+				sp.Stamp(obs.SpanExec, o.Now())
+				c.sess.SetSpan(sp)
+			}
 			v, found := c.sess.Get(m.Key)
+			if sp != nil {
+				c.sess.SetSpan(nil)
+				sp.OK = found
+				sp.Stamp(obs.SpanCommit, o.Now())
+			}
 			c.bumpInflight(-1)
-			c.send(outMsg{m: wire.Msg{Type: wire.RespValue, ID: m.ID, Found: found, Value: v}})
+			c.send(outMsg{m: wire.Msg{Type: wire.RespValue, ID: m.ID, Found: found, Value: v}, sp: sp, decNS: decNS})
 		case wire.CmdScan:
 			// Wire-level stub: the scan op exists in the protocol and the
 			// workloads (YCSB E), but returns no entries yet.
+			if sp != nil {
+				now := o.Now()
+				sp.OK = true
+				sp.Stamp(obs.SpanExec, now)
+				sp.Stamp(obs.SpanCommit, now)
+			}
 			c.bumpInflight(-1)
-			c.send(outMsg{m: wire.Msg{Type: wire.RespScan, ID: m.ID, Count: 0}})
+			c.send(outMsg{m: wire.Msg{Type: wire.RespScan, ID: m.ID, Count: 0}, sp: sp, decNS: decNS})
+		case wire.CmdStats:
+			st := srv.wireStats()
+			c.bumpInflight(-1)
+			c.send(outMsg{m: wire.Msg{Type: wire.RespStats, ID: m.ID, Stats: &st}})
 		case wire.CmdPut, wire.CmdDel:
+			if sp != nil {
+				sp.Write = true
+				sp.Stamp(obs.SpanExec, o.Now())
+				c.sess.SetSpan(sp)
+			}
 			var ok bool
 			if m.Type == wire.CmdPut {
 				ok = c.sess.Put(m.Key, m.Value)
@@ -135,6 +177,16 @@ func (c *conn) readLoop() {
 				ok = c.sess.Del(m.Key)
 			}
 			ep := c.sess.Epoch()
+			var cmtNS int64
+			if o != nil {
+				cmtNS = o.Now()
+			}
+			if sp != nil {
+				c.sess.SetSpan(nil)
+				sp.OK = ok
+				sp.CommitEpoch = ep
+				sp.Stamp(obs.SpanCommit, cmtNS)
+			}
 			srv.writeCommits.Add(1)
 			seq := uint64(0)
 			if !srv.cfg.SyncAcks {
@@ -146,11 +198,11 @@ func (c *conn) readLoop() {
 			// durable frame can never overtake its applied frame even
 			// though it is queued earlier.
 			c.ackMu.Lock()
-			c.pending = append(c.pending, pendingAck{id: m.ID, ok: ok, epoch: ep, seq: seq})
+			c.pending = append(c.pending, pendingAck{id: m.ID, ok: ok, epoch: ep, seq: seq, sp: sp, decNS: decNS, cmtNS: cmtNS})
 			c.ackMu.Unlock()
 			srv.gauge(obs.GServeAckQueue, srv.ackQueue.Add(1))
 			if !srv.cfg.SyncAcks {
-				c.send(outMsg{m: wire.Msg{Type: wire.RespApplied, ID: m.ID, OK: ok, Epoch: ep}, seq: seq})
+				c.send(outMsg{m: wire.Msg{Type: wire.RespApplied, ID: m.ID, OK: ok, Epoch: ep}, seq: seq, sp: sp, decNS: decNS})
 			}
 			// Always poke: the watermark may already have passed ep (the
 			// epoch can persist between the op's commit and this enqueue),
@@ -212,10 +264,16 @@ func (c *conn) writeLoop() {
 			return
 		}
 		dirty = true
-		if m.m.Type == wire.RespApplied {
+		switch m.m.Type {
+		case wire.RespApplied:
 			c.srv.appliedAcks.Add(1)
 			c.srv.metric(obs.MServeAppliedAcks, 0, 1)
 			c.bumpInflight(-1)
+			if o := c.srv.cfg.Obs; o != nil && m.decNS > 0 {
+				now := o.Now()
+				o.SvcRecord(obs.SvcAppliedAckNS, c.lane, now-m.decNS)
+				m.sp.Stamp(obs.SpanApplied, now)
+			}
 			if m.seq > appliedDone {
 				appliedDone = m.seq
 			}
@@ -223,6 +281,15 @@ func (c *conn) writeLoop() {
 			// already consumed; re-check.
 			if !c.drainDurable(w, appliedDone) {
 				return
+			}
+		case wire.RespValue, wire.RespScan:
+			// A read's span ends at its response: applied-ack latency is
+			// the full request latency, and there is nothing to persist.
+			if o := c.srv.cfg.Obs; o != nil && m.decNS > 0 {
+				now := o.Now()
+				o.SvcRecord(obs.SvcAppliedAckNS, c.lane, now-m.decNS)
+				m.sp.Stamp(obs.SpanApplied, now)
+				m.sp.Finish()
 			}
 		}
 		if m.closeAfter {
@@ -240,7 +307,16 @@ func (c *conn) writeLoop() {
 // written. Returns false on a dead socket.
 func (c *conn) drainDurable(w *wire.Writer, appliedDone uint64) bool {
 	srv := c.srv
+	o := srv.cfg.Obs
 	watermark := srv.sys.PersistedEpoch()
+	// One flush stamp per drain: every op released by this watermark
+	// movement shares the group commit, so its span records the same
+	// epoch-flush instant. Taken after any applied-ack stamps on this
+	// goroutine, so span phases stay monotone.
+	var flushNS int64
+	if o != nil {
+		flushNS = o.Now()
+	}
 	for {
 		c.ackMu.Lock()
 		if len(c.pending) == 0 {
@@ -261,6 +337,28 @@ func (c *conn) drainDurable(w *wire.Writer, appliedDone uint64) bool {
 		srv.metric(obs.MServeDurableAcks, 0, 1)
 		srv.gauge(obs.GServeAckQueue, srv.ackQueue.Add(-1))
 		srv.bumpAckLag(int64(watermark - p.epoch))
+		if o != nil {
+			now := o.Now()
+			if p.decNS > 0 {
+				o.SvcRecord(obs.SvcDurableAckNS, c.lane, now-p.decNS)
+			}
+			if p.cmtNS > 0 {
+				o.SvcRecord(obs.SvcAckLagNS, c.lane, now-p.cmtNS)
+			}
+			o.SvcRecord(obs.SvcAckLagEpochs, c.lane, int64(watermark-p.epoch))
+			if p.sp != nil {
+				if srv.cfg.SyncAcks {
+					// Sync mode has no separate applied frame: the op is
+					// applied and durable from the client's view at this
+					// single ack.
+					p.sp.Stamp(obs.SpanApplied, flushNS)
+				}
+				p.sp.Stamp(obs.SpanFlush, flushNS)
+				p.sp.Stamp(obs.SpanDurable, now)
+				p.sp.DurableEpoch = watermark
+				p.sp.Finish()
+			}
+		}
 		if srv.cfg.SyncAcks {
 			c.bumpInflight(-1)
 		}

@@ -108,12 +108,15 @@ func (c Config) epochCfg() epoch.Config {
 // session is one connection's handle onto the store: a private epoch
 // worker, so HTM transactions from different connections proceed
 // concurrently. Epoch returns the exact commit epoch of the session's
-// last completed write.
+// last completed write. SetSpan brackets one request with its sampled
+// span (nil detaches), routed down to the worker so every HTM attempt
+// the op makes is counted on the span.
 type session interface {
 	Put(k, v uint64) bool
 	Del(k uint64) bool
 	Get(k uint64) (uint64, bool)
 	Epoch() uint64
+	SetSpan(sp *obs.Span)
 }
 
 // store is the structure behind the sessions plus its recovery hooks.
@@ -138,8 +141,9 @@ func (s *hashStore) NewSession() session           { return &hashSession{s: s, w
 func (s *hashStore) Rebuild(r epoch.BlockRecord)   { s.tab.RebuildBlock(r) }
 func (h *hashSession) Put(k, v uint64) bool        { return h.s.tab.Insert(h.w, k, v) }
 func (h *hashSession) Del(k uint64) bool           { return h.s.tab.Remove(h.w, k) }
-func (h *hashSession) Get(k uint64) (uint64, bool) { return h.s.tab.Get(k) }
+func (h *hashSession) Get(k uint64) (uint64, bool) { return h.s.tab.GetW(h.w, k) }
 func (h *hashSession) Epoch() uint64               { return h.w.OpEpoch() }
+func (h *hashSession) SetSpan(sp *obs.Span)        { h.w.SetSpan(sp) }
 
 // --- skiplist store ---
 
@@ -157,6 +161,7 @@ func (h *listSession) Put(k, v uint64) bool        { return h.h.Insert(k, v) }
 func (h *listSession) Del(k uint64) bool           { return h.h.Remove(k) }
 func (h *listSession) Get(k uint64) (uint64, bool) { return h.h.Get(k) }
 func (h *listSession) Epoch() uint64               { return h.h.Worker().OpEpoch() }
+func (h *listSession) SetSpan(sp *obs.Span)        { h.h.SetSpan(sp) }
 
 // Counters is a point-in-time snapshot of the server's service-layer
 // accounting, for tests and the stats endpoint.
@@ -172,6 +177,11 @@ type Counters struct {
 	OpenConns int64 // gauge: currently open connections
 	Inflight  int64 // gauge: requests decoded, first response not yet written
 	AckQueue  int64 // gauge: write ops applied, durable ack not yet written
+
+	// OldestUnackedNS: age of the oldest write applied but not yet
+	// durable-acked (0 when the ack queue is empty or obs is disabled —
+	// ages come from the recorder's clock).
+	OldestUnackedNS int64
 }
 
 // RecoveryInfo summarizes a Recover cold start: how the header scan was
@@ -303,6 +313,9 @@ func (s *Server) notifyLoop() {
 	}
 }
 
+// TMStats snapshots the server's HTM commit/abort counters.
+func (s *Server) TMStats() htm.StatsSnapshot { return s.tm.Stats() }
+
 // System exposes the epoch system (tests drive AdvanceOnce in Manual
 // mode and read the watermark).
 func (s *Server) System() *epoch.System { return s.sys }
@@ -317,16 +330,87 @@ func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 // Stats snapshots the service counters and gauges.
 func (s *Server) Stats() Counters {
 	return Counters{
-		Conns:        s.conns64.Load(),
-		Requests:     s.requests.Load(),
-		WriteCommits: s.writeCommits.Load(),
-		AppliedAcks:  s.appliedAcks.Load(),
-		DurableAcks:  s.durableAcks.Load(),
-		ProtoErrors:  s.protoErrors.Load(),
-		MaxAckLag:    s.maxAckLag.Load(),
-		OpenConns:    s.openConns.Load(),
-		Inflight:     s.inflight.Load(),
-		AckQueue:     s.ackQueue.Load(),
+		Conns:           s.conns64.Load(),
+		Requests:        s.requests.Load(),
+		WriteCommits:    s.writeCommits.Load(),
+		AppliedAcks:     s.appliedAcks.Load(),
+		DurableAcks:     s.durableAcks.Load(),
+		ProtoErrors:     s.protoErrors.Load(),
+		MaxAckLag:       s.maxAckLag.Load(),
+		OpenConns:       s.openConns.Load(),
+		Inflight:        s.inflight.Load(),
+		AckQueue:        s.ackQueue.Load(),
+		OldestUnackedNS: s.oldestUnackedNS(),
+	}
+}
+
+// oldestUnackedNS scans the open connections' pending-ack queues for the
+// earliest decode timestamp still awaiting its durable ack and returns
+// its age on the recorder's clock (0 when none, or when obs is off). A
+// cold path: it takes the connection set lock and each queue's mutex,
+// and is meant for polling cadences, not per-op use.
+func (s *Server) oldestUnackedNS() int64 {
+	o := s.cfg.Obs
+	if o == nil {
+		return 0
+	}
+	var oldest int64
+	s.mu.Lock()
+	for c := range s.conns {
+		c.ackMu.Lock()
+		if len(c.pending) > 0 {
+			if t := c.pending[0].decNS; t > 0 && (oldest == 0 || t < oldest) {
+				oldest = t
+			}
+		}
+		c.ackMu.Unlock()
+	}
+	s.mu.Unlock()
+	if oldest == 0 {
+		o.SetGauge(obs.GOldestUnackedNS, 0)
+		return 0
+	}
+	age := o.Now() - oldest
+	o.SetGauge(obs.GOldestUnackedNS, age)
+	return age
+}
+
+// wireStats assembles the compact binary snapshot behind the STATS
+// opcode: service counters, epoch/flusher state, and the HTM abort
+// breakdown, cheap enough for dashboard polling.
+func (s *Server) wireStats() wire.StatsSnap {
+	es := s.sys.Stats()
+	ts := s.tm.Stats()
+	sampled, dropped := s.cfg.Obs.SpanCounts()
+	var depth int64
+	if s.cfg.Obs != nil {
+		depth = s.cfg.Obs.Gauge(obs.GFlusherDepth)
+	}
+	return wire.StatsSnap{
+		GlobalEpoch:     s.sys.GlobalEpoch(),
+		PersistedEpoch:  s.sys.PersistedEpoch(),
+		Advances:        uint64(es.Advances),
+		Backpressure:    uint64(es.Backpressure),
+		FlusherDepth:    uint64(depth),
+		Conns:           uint64(s.conns64.Load()),
+		OpenConns:       uint64(s.openConns.Load()),
+		Requests:        uint64(s.requests.Load()),
+		WriteCommits:    uint64(s.writeCommits.Load()),
+		AppliedAcks:     uint64(s.appliedAcks.Load()),
+		DurableAcks:     uint64(s.durableAcks.Load()),
+		ProtoErrors:     uint64(s.protoErrors.Load()),
+		Inflight:        uint64(s.inflight.Load()),
+		AckQueue:        uint64(s.ackQueue.Load()),
+		MaxAckLagEpochs: uint64(s.maxAckLag.Load()),
+		OldestUnackedNS: uint64(s.oldestUnackedNS()),
+		TxCommits:       uint64(ts.Commits),
+		AbortsConflict:  uint64(ts.Conflict),
+		AbortsCapacity:  uint64(ts.Capacity),
+		AbortsInjected:  uint64(ts.Spurious + ts.MemType),
+		AbortsOther:     uint64(ts.Explicit + ts.Locked + ts.PersistOp),
+		FlushedBlocks:   uint64(es.FlushedBlocks),
+		SpansSampled:    uint64(sampled),
+		SpansDropped:    uint64(dropped),
 	}
 }
 
@@ -427,7 +511,7 @@ func (s *Server) startConn(nc net.Conn) {
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
 
-	s.conns64.Add(1)
+	c.lane = uint64(s.conns64.Add(1)-1) % obs.NumShards
 	s.gauge(obs.GServeConns, s.openConns.Add(1))
 	s.metric(obs.MServeConns, 0, 1)
 

@@ -1,0 +1,189 @@
+package bdserve
+
+import (
+	"testing"
+	"time"
+
+	"bdhtm/internal/obs"
+	"bdhtm/internal/wire"
+)
+
+// TestSpanLedgerParity drives a deterministic workload with sampling at
+// 1-in-1 and cross-checks three ledgers that must agree: the server's
+// ack counters, the SLO histograms, and the per-request spans. Any
+// drift between them means an ack was double-counted, a span orphaned,
+// or a histogram recorded off the ack path.
+func TestSpanLedgerParity(t *testing.T) {
+	r := obs.New("slo-parity")
+	r.EnableSpans(256, 1)
+	srv, addr := startServer(t, Config{KeySpace: 1 << 10, Manual: true, Obs: r})
+	c := dial(t, addr)
+
+	const writes, reads = 20, 10
+	id := uint64(1)
+	for i := 0; i < writes; i++ {
+		c.send(wire.Msg{Type: wire.CmdPut, ID: id, Key: uint64(i), Value: uint64(i * 10)})
+		if m := c.recv(); m.Type != wire.RespApplied || m.ID != id {
+			t.Fatalf("want applied ack for %d, got %+v", id, m)
+		}
+		// The op has committed (its applied ack proves it); three manual
+		// advances push the watermark past its epoch, releasing the
+		// durable ack with a bounded lag.
+		for a := 0; a < 3; a++ {
+			srv.System().AdvanceOnce()
+		}
+		if m := c.recv(); m.Type != wire.RespDurable || m.ID != id {
+			t.Fatalf("want durable ack for %d, got %+v", id, m)
+		}
+		id++
+	}
+	for i := 0; i < reads; i++ {
+		c.send(wire.Msg{Type: wire.CmdGet, ID: id, Key: uint64(i)})
+		if m := c.recv(); m.Type != wire.RespValue || m.ID != id {
+			t.Fatalf("want value for %d, got %+v", id, m)
+		}
+		id++
+	}
+
+	// Ledger 1: server counters.
+	st := srv.Stats()
+	if st.WriteCommits != writes || st.AppliedAcks != writes || st.DurableAcks != writes {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.Requests != writes+reads {
+		t.Fatalf("requests = %d, want %d", st.Requests, writes+reads)
+	}
+	if st.AckQueue != 0 || st.OldestUnackedNS != 0 {
+		t.Fatalf("quiescent server still owes acks: %+v", st)
+	}
+	if got := r.Metric(obs.MServeAppliedAcks); got != writes {
+		t.Fatalf("MServeAppliedAcks = %d, want %d", got, writes)
+	}
+	if got := r.Metric(obs.MServeDurableAcks); got != writes {
+		t.Fatalf("MServeDurableAcks = %d, want %d", got, writes)
+	}
+
+	// Ledger 2: SLO histograms. Applied-ack latency is recorded once per
+	// write's applied ack and once per read response; the durable lanes
+	// exactly once per durable ack.
+	if n := r.SvcSnapshot(obs.SvcAppliedAckNS).Count; n != writes+reads {
+		t.Fatalf("applied-ack hist count = %d, want %d", n, writes+reads)
+	}
+	for _, h := range []obs.SvcHist{obs.SvcDurableAckNS, obs.SvcAckLagNS, obs.SvcAckLagEpochs} {
+		if n := r.SvcSnapshot(h).Count; n != writes {
+			t.Fatalf("%s hist count = %d, want %d", h, n, writes)
+		}
+	}
+	if q := r.SvcSnapshot(obs.SvcAckLagEpochs).Quantile(1.0); q > 2 {
+		t.Fatalf("ack-lag p100 = %d epochs, exceeds the two-epoch window", q)
+	}
+
+	// Ledger 3: spans. Sampling at 1-in-1 with an unfilled ring must have
+	// traced every request, finished every trace, and dropped none.
+	sampled, dropped := r.SpanCounts()
+	if sampled != writes+reads || dropped != 0 {
+		t.Fatalf("SpanCounts = %d sampled %d dropped, want %d, 0", sampled, dropped, writes+reads)
+	}
+	_, _, active := r.SpanRing().Counts()
+	if active != 0 {
+		t.Fatalf("%d orphan spans still active at quiescence", active)
+	}
+	spans := r.SpanRing().Spans()
+	if len(spans) != writes+reads {
+		t.Fatalf("completed spans = %d, want %d", len(spans), writes+reads)
+	}
+	if err := obs.CheckSpans(spans, obs.SpanCheck{MaxAckLagEpochs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var wspans, attempts int
+	for i := range spans {
+		if spans[i].Write {
+			wspans++
+			attempts += int(spans[i].Attempts())
+		}
+	}
+	if wspans != writes {
+		t.Fatalf("write spans = %d, want %d (counter parity broken)", wspans, writes)
+	}
+	if attempts < writes {
+		t.Fatalf("write spans recorded %d HTM attempts total, want >= %d", attempts, writes)
+	}
+
+	// The wire STATS snapshot is the same ledger over the protocol.
+	c.send(wire.Msg{Type: wire.CmdStats, ID: id})
+	m := c.recv()
+	if m.Type != wire.RespStats || m.ID != id || m.Stats == nil {
+		t.Fatalf("stats response: %+v", m)
+	}
+	ws := m.Stats
+	if ws.WriteCommits != writes || ws.AppliedAcks != writes || ws.DurableAcks != writes {
+		t.Fatalf("wire stats ack ledger: %+v", ws)
+	}
+	if ws.Requests != writes+reads+1 { // the STATS request counts itself
+		t.Fatalf("wire stats requests = %d", ws.Requests)
+	}
+	if ws.SpansSampled != writes+reads || ws.SpansDropped != 0 {
+		t.Fatalf("wire stats spans: sampled=%d dropped=%d", ws.SpansSampled, ws.SpansDropped)
+	}
+	if ws.TxCommits < writes {
+		t.Fatalf("wire stats tx commits = %d, want >= %d", ws.TxCommits, writes)
+	}
+	if ws.PersistedEpoch > ws.GlobalEpoch || ws.GlobalEpoch == 0 {
+		t.Fatalf("wire stats epochs: global=%d persisted=%d", ws.GlobalEpoch, ws.PersistedEpoch)
+	}
+}
+
+// TestSpanLedgerParitySync: same cross-check in sync-ack mode, where the
+// single durable ack must stamp both the applied and durable phases.
+func TestSpanLedgerParitySync(t *testing.T) {
+	r := obs.New("slo-parity-sync")
+	r.EnableSpans(64, 1)
+	srv, addr := startServer(t, Config{KeySpace: 1 << 10, Manual: true, SyncAcks: true, Obs: r})
+	c := dial(t, addr)
+
+	const writes = 5
+	for i := 0; i < writes; i++ {
+		c.send(wire.Msg{Type: wire.CmdPut, ID: uint64(i + 1), Key: uint64(i), Value: 1})
+		// No applied frame exists to prove commit; poll the watermark
+		// forward until the durable ack lands.
+		deadline := time.Now().Add(10 * time.Second)
+		got := false
+		for !got {
+			if time.Now().After(deadline) {
+				t.Fatal("no durable ack")
+			}
+			srv.System().AdvanceOnce()
+			c.nc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			if m, err := c.r.Read(); err == nil {
+				if m.Type != wire.RespDurable || m.ID != uint64(i+1) {
+					t.Fatalf("want durable ack for %d, got %+v", i+1, m)
+				}
+				got = true
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.AppliedAcks != 0 || st.DurableAcks != writes {
+		t.Fatalf("sync counters: %+v", st)
+	}
+	if n := r.SvcSnapshot(obs.SvcAppliedAckNS).Count; n != 0 {
+		t.Fatalf("sync mode recorded %d applied-ack samples", n)
+	}
+	if n := r.SvcSnapshot(obs.SvcDurableAckNS).Count; n != writes {
+		t.Fatalf("durable-ack hist count = %d, want %d", n, writes)
+	}
+	spans := r.SpanRing().Spans()
+	if len(spans) != writes {
+		t.Fatalf("completed spans = %d, want %d", len(spans), writes)
+	}
+	if err := obs.CheckSpans(spans, obs.SpanCheck{SyncAcks: true, MaxAckLagEpochs: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range spans {
+		if spans[i].Phase[obs.SpanApplied] != spans[i].Phase[obs.SpanFlush] {
+			t.Fatalf("sync span %d: applied stamp %d != flush stamp %d",
+				i, spans[i].Phase[obs.SpanApplied], spans[i].Phase[obs.SpanFlush])
+		}
+	}
+}

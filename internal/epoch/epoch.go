@@ -253,6 +253,10 @@ type System struct {
 	advSeq    atomic.Uint64 // seqlock over each task's counter burst
 	advHist   obs.Hist      // AdvanceOnce wall-time distribution
 
+	// closedNS[e%numSlots] is the obs-clock time epoch e stopped being
+	// active, consumed by runTask for the durable-lag gauge.
+	closedNS [numSlots]atomic.Int64
+
 	// Durable-watermark subscribers (group-commit ackers and friends).
 	// Notifications are coalescing wakes, not a value stream: subscribers
 	// re-read PersistedEpoch after each wake.
@@ -561,6 +565,7 @@ func (s *System) AdvanceOnce() {
 				s.runTask(p + 1)
 			}
 			s.global.Store(e + 1)
+			s.stampClosed(e)
 			s.pendMu.Lock()
 			s.pendEpoch = e
 			s.pendMu.Unlock()
@@ -594,6 +599,7 @@ func (s *System) AdvanceOnce() {
 	}
 
 	s.global.Store(e + 1)
+	s.stampClosed(e)
 
 	if s.cfg.Async {
 		// Inline-async: eagerly flush the epoch that just stopped being
@@ -604,6 +610,16 @@ func (s *System) AdvanceOnce() {
 	}
 
 	s.finishAdvance(e, t0)
+}
+
+// stampClosed records when epoch e stopped being active, so runTask can
+// report how long it sat closed-but-volatile once it persists. The slot
+// ring reuses entries after numSlots epochs, safely past the two-epoch
+// persistence window.
+func (s *System) stampClosed(e uint64) {
+	if o := s.cfg.Obs; o != nil {
+		s.closedNS[e%numSlots].Store(o.Now())
+	}
 }
 
 // finishAdvance publishes the bookkeeping for an advance that opened
@@ -704,6 +720,15 @@ func (s *System) runTask(x uint64) {
 		s.notifyDurable(x)
 		if o != nil {
 			t = o.Phase(obs.PhaseRoot, x, t)
+		}
+	}
+
+	// Durability-SLO gauges: the live BDL window in epochs, and how long
+	// this epoch sat closed but volatile before its flush landed.
+	if o != nil {
+		o.SetGauge(obs.GDurableLagEpochs, int64(s.global.Load()-s.persisted.Load()))
+		if c := s.closedNS[x%numSlots].Load(); c > 0 {
+			o.SetGauge(obs.GDurableLagNS, o.Now()-c)
 		}
 	}
 

@@ -33,6 +33,12 @@ type Worker struct {
 	persistMark int // buffer lengths at BeginOp, for AbortOp rollback
 	retireMark  int
 
+	// span is the sampled request span of the operation in progress (nil
+	// when unsampled): every HTM attempt routed through Attempt records
+	// its outcome there, so service requests get per-cause abort counts
+	// without the structures knowing about spans.
+	span *obs.Span
+
 	bufs [numSlots]opBuf
 
 	_ [32]byte // keep workers' hot state apart
@@ -140,11 +146,21 @@ func (w *Worker) PRetire(b Block) {
 // hardware transaction.
 func (w *Worker) InTxn() bool { return w.inTxn }
 
+// SetSpan attaches a sampled request span to the worker for the duration
+// of the current operation (nil detaches). Like the worker itself it is
+// single-goroutine state; the service layer brackets each request with
+// SetSpan(sp) / SetSpan(nil).
+func (w *Worker) SetSpan(sp *obs.Span) { w.span = sp }
+
+// Span returns the attached request span, or nil.
+func (w *Worker) Span() *obs.Span { return w.span }
+
 // Attempt runs body as one HTM attempt with the worker marked in-txn, so
 // that misuse of PNew/PDelete inside the transaction is caught. It is the
-// standard way structures combine HTM with the epoch system.
+// standard way structures combine HTM with the epoch system; any span
+// attached via SetSpan receives the attempt's outcome.
 func (w *Worker) Attempt(tm *htm.TM, body func(tx *htm.Tx), opts ...htm.AttemptOption) htm.Result {
 	w.inTxn = true
 	defer func() { w.inTxn = false }()
-	return tm.Attempt(body, opts...)
+	return tm.AttemptSpan(w.span, body, opts...)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"bdhtm/internal/obs"
 )
 
 // BenchmarkHotPath measures the transaction engine's fast paths: read-only
@@ -29,6 +31,66 @@ func BenchmarkHotPath(b *testing.B) {
 			})
 		}
 	}
+	// The request-tracing overhead matrix: the same read-write
+	// transaction with the service hot path's per-request sampling
+	// decision in the loop. sampling=off is the production default and
+	// holds EXPERIMENTS.md's ≤2% overhead gate against plain tx-readwrite.
+	for _, every := range []int{0, 1024, 16} {
+		name := "off"
+		if every > 0 {
+			name = fmt.Sprintf("1in%d", every)
+		}
+		b.Run("tx-readwrite-span/sampling="+name, func(b *testing.B) {
+			benchTxSpan(b, 1, 8, 8, every)
+		})
+	}
+}
+
+// benchTxSpan is benchTx with the span hot path included: one
+// deterministic sampling decision per transaction and, for sampled
+// requests, the attempt-tally and finish cost a traced request pays.
+func benchTxSpan(b *testing.B, g, nReads, nWrites, every int) {
+	tm := New(Config{})
+	rec := obs.New("hotpath-bench")
+	if every > 0 {
+		rec.EnableSpans(8192, every)
+	}
+	lines := nReads + nWrites
+	regions := make([][]uint64, g)
+	for w := range regions {
+		regions[w] = make([]uint64, lines*8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/g + 1
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			region := regions[w]
+			var sink uint64
+			for i := 0; i < per; i++ {
+				sp := rec.SampleSpan(uint64(w)<<32|uint64(i), uint64(w), 1)
+				for {
+					res := tm.AttemptSpan(sp, func(tx *Tx) {
+						for r := 0; r < nReads; r++ {
+							sink += tx.Load(&region[r*8])
+						}
+						for wr := 0; wr < nWrites; wr++ {
+							tx.Store(&region[(nReads+wr)*8], uint64(i))
+						}
+					})
+					if res.Committed {
+						break
+					}
+				}
+				sp.Finish()
+			}
+			_ = sink
+		}(w)
+	}
+	wg.Wait()
 }
 
 // benchTx runs b.N transactions split across g goroutines; each

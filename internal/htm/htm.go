@@ -514,7 +514,15 @@ func PreWalked() AttemptOption {
 // anything other than a transactional abort, the panic propagates after the
 // attempt's speculative state is discarded.
 func (tm *TM) Attempt(body func(tx *Tx), opts ...AttemptOption) Result {
-	if tm.obs == nil {
+	return tm.AttemptSpan(nil, body, opts...)
+}
+
+// AttemptSpan is Attempt with a sampled request span: each attempt's
+// outcome (commit or per-cause abort, including injected aborts) is
+// additionally counted on sp. sp may be nil — unsampled requests pay
+// one pointer test.
+func (tm *TM) AttemptSpan(sp *obs.Span, body func(tx *Tx), opts ...AttemptOption) Result {
+	if tm.obs == nil && sp == nil {
 		return tm.attempt(body, opts...)
 	}
 	start := tm.obs.Now()
@@ -523,6 +531,7 @@ func (tm *TM) Attempt(body func(tx *Tx), opts ...AttemptOption) Result {
 	// timestamp doubles as the shard hint, spreading concurrent attempts
 	// across histogram lanes without needing a thread ID.
 	tm.obs.Attempt(obs.Outcome(res.Cause), uint64(start), start)
+	sp.RecordAttempt(obs.Outcome(res.Cause))
 	return res
 }
 
@@ -586,10 +595,16 @@ func (tm *TM) runBody(tx *Tx, body func(tx *Tx)) (res Result, ok bool) {
 // It returns true if the transactional path committed, false if the
 // fallback path ran.
 func (tm *TM) Run(lock *FallbackLock, maxRetries int, body func(tx *Tx), fallback func()) bool {
+	return tm.RunSpan(nil, lock, maxRetries, body, fallback)
+}
+
+// RunSpan is Run with a sampled request span threaded through to every
+// attempt; sp may be nil.
+func (tm *TM) RunSpan(sp *obs.Span, lock *FallbackLock, maxRetries int, body func(tx *Tx), fallback func()) bool {
 	retries := 0
 	preWalked := false
 	for retries < maxRetries {
-		res := tm.Attempt(func(tx *Tx) {
+		res := tm.AttemptSpan(sp, func(tx *Tx) {
 			tx.Subscribe(lock)
 			body(tx)
 		}, func() []AttemptOption {

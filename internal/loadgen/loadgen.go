@@ -169,6 +169,12 @@ type Result struct {
 	Elapsed  time.Duration
 	NetP50NS int64
 	NetP99NS int64
+
+	// GapP50NS/GapP99NS are the client-observed applied→durable gap for
+	// writes — the buffered-durability window as the network sees it.
+	// Zero in sync mode (no applied ack exists to measure from).
+	GapP50NS int64
+	GapP99NS int64
 }
 
 // Run executes the configured load and blocks until every op on every
@@ -180,11 +186,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	var (
-		mu    sync.Mutex
-		res   Result
-		hist  obs.Hist
-		wg    sync.WaitGroup
-		errCh = make(chan error, cfg.Conns)
+		mu      sync.Mutex
+		res     Result
+		hist    obs.Hist
+		gapHist obs.Hist
+		wg      sync.WaitGroup
+		errCh   = make(chan error, cfg.Conns)
 	)
 	start := time.Now()
 	deadline := start.Add(cfg.Timeout)
@@ -196,7 +203,7 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(ci int, ops []Op) {
 			defer wg.Done()
-			r, err := runConn(cfg, ci, ops, deadline, &hist)
+			r, err := runConn(cfg, ci, ops, deadline, &hist, &gapHist)
 			if err != nil {
 				errCh <- fmt.Errorf("conn %d: %w", ci, err)
 			}
@@ -217,6 +224,10 @@ func Run(cfg Config) (Result, error) {
 	snap := hist.Snapshot()
 	res.NetP50NS = snap.Quantile(0.50)
 	res.NetP99NS = snap.Quantile(0.99)
+	if gap := gapHist.Snapshot(); gap.Count > 0 {
+		res.GapP50NS = gap.Quantile(0.50)
+		res.GapP99NS = gap.Quantile(0.99)
+	}
 	select {
 	case err := <-errCh:
 		return res, err
@@ -227,13 +238,14 @@ func Run(cfg Config) (Result, error) {
 
 // opState tracks one in-flight request on a connection.
 type opState struct {
-	sentAt  time.Time
-	isWrite bool
-	applied bool
-	done    bool
+	sentAt    time.Time
+	appliedAt time.Time
+	isWrite   bool
+	applied   bool
+	done      bool
 }
 
-func runConn(cfg Config, ci int, ops []Op, deadline time.Time, hist *obs.Hist) (Result, error) {
+func runConn(cfg Config, ci int, ops []Op, deadline time.Time, hist, gapHist *obs.Hist) (Result, error) {
 	nc, err := net.Dial("tcp", cfg.Addr)
 	if err != nil {
 		return Result{}, err
@@ -347,6 +359,7 @@ func runConn(cfg Config, ci int, ops []Op, deadline time.Time, hist *obs.Hist) (
 				break
 			}
 			st.applied = true
+			st.appliedAt = time.Now()
 			// The window is released on applied: buffered mode's whole
 			// point is that the client can proceed at memory speed.
 			release()
@@ -360,6 +373,8 @@ func runConn(cfg Config, ci int, ops []Op, deadline time.Time, hist *obs.Hist) (
 			res.Writes++
 			if cfg.SyncAcks {
 				release()
+			} else {
+				gapHist.Record(uint64(ci)%obs.NumShards, time.Since(st.appliedAt).Nanoseconds())
 			}
 		case wire.RespError:
 			res.Errors++

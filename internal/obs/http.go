@@ -5,31 +5,72 @@ import (
 	"expvar"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
-	"sync"
+	"net/http/pprof"
+	"sync/atomic"
 )
 
-var publishOnce sync.Once
+// expvarRec is the recorder behind /debug/vars' "obs" key. expvar only
+// allows publishing a name once per process, so the published Func
+// chases this pointer: every StartHTTP call (and restart) retargets it
+// at its recorder instead of the first call winning forever.
+var expvarRec atomic.Pointer[Recorder]
+
+var publishExpvar = func() func() {
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			expvar.Publish("obs", expvar.Func(func() any { return expvarRec.Load().Snapshot() }))
+		}
+	}
+}()
+
+// HTTPServer is a running observability endpoint; Close shuts down the
+// listener and its serving goroutine, after which StartHTTP may be
+// called again (on the same or another address).
+type HTTPServer struct {
+	addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (h *HTTPServer) Addr() string { return h.addr }
+
+// Close shuts down the listener; in-flight requests are cut off.
+func (h *HTTPServer) Close() error { return h.srv.Close() }
 
 // StartHTTP serves live observability over HTTP on addr: /obs (JSON
-// snapshot of r), /debug/vars (expvar, including the same snapshot under
-// the "obs" key), and /debug/pprof. It returns the bound address (useful
-// with ":0") after the listener is up; the server itself runs until the
-// process exits. Intended for long benchmark runs, not production use.
-func StartHTTP(addr string, r *Recorder) (string, error) {
-	publishOnce.Do(func() {
-		expvar.Publish("obs", expvar.Func(func() any { return r.Snapshot() }))
-	})
-	http.HandleFunc("/obs", func(w http.ResponseWriter, _ *http.Request) {
+// snapshot of r), /metrics (OpenMetrics text exposition), /debug/vars
+// (expvar, including the same snapshot under the "obs" key), and
+// /debug/pprof. Each call builds its own ServeMux and server, so
+// multiple endpoints (or stop/restart cycles) coexist; the returned
+// handle's Close tears the endpoint down. Intended for benchmark runs
+// and service daemons, not the open internet.
+func StartHTTP(addr string, r *Recorder) (*HTTPServer, error) {
+	expvarRec.Store(r)
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obs", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = r.WriteOpenMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go func() { _ = http.Serve(ln, nil) }()
-	return ln.Addr().String(), nil
+	h := &HTTPServer{addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = h.srv.Serve(ln) }()
+	return h, nil
 }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestStartHTTPEndpoints: one endpoint serves /obs (JSON snapshot),
+// /metrics (lintable OpenMetrics), /debug/vars and /debug/pprof.
+func TestStartHTTPEndpoints(t *testing.T) {
+	r := New("http-test")
+	r.MetricAdd(MServeReqs, 0, 3)
+	h, err := StartHTTP("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	base := "http://" + h.Addr()
+
+	code, body := httpGet(t, base+"/obs")
+	if code != http.StatusOK {
+		t.Fatalf("/obs status %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/obs is not JSON: %v\n%s", err, body)
+	}
+
+	code, body = httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := LintOpenMetrics(body); err != nil {
+		t.Fatalf("/metrics fails lint: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), `bdhtm_events_total{event="serve_reqs"} 3`) {
+		t.Fatalf("/metrics missing recorded counter:\n%s", body)
+	}
+
+	if code, _ := httpGet(t, base+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if code, _ := httpGet(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestStartHTTPTwice: two concurrent endpoints must coexist (the old
+// implementation panicked on the second DefaultServeMux registration),
+// each serving its own recorder.
+func TestStartHTTPTwice(t *testing.T) {
+	r1 := New("first")
+	r1.MetricAdd(MServeReqs, 0, 1)
+	r2 := New("second")
+	r2.MetricAdd(MServeReqs, 0, 2)
+
+	h1, err := StartHTTP("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Close()
+	h2, err := StartHTTP("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatalf("second StartHTTP: %v", err)
+	}
+	defer h2.Close()
+
+	_, b1 := httpGet(t, "http://"+h1.Addr()+"/metrics")
+	_, b2 := httpGet(t, "http://"+h2.Addr()+"/metrics")
+	if !strings.Contains(string(b1), `event="serve_reqs"} 1`) {
+		t.Fatalf("first endpoint not serving first recorder:\n%s", b1)
+	}
+	if !strings.Contains(string(b2), `event="serve_reqs"} 2`) {
+		t.Fatalf("second endpoint not serving second recorder:\n%s", b2)
+	}
+}
+
+// TestStartHTTPStopRestart: Close releases the address; a later
+// StartHTTP (same process) serves the new recorder, including via the
+// process-global expvar key.
+func TestStartHTTPStopRestart(t *testing.T) {
+	r1 := New("gen-one")
+	h, err := StartHTTP("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := h.Addr()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/obs"); err == nil {
+		t.Fatal("endpoint still serving after Close")
+	}
+
+	r2 := New("gen-two")
+	h2, err := StartHTTP(addr, r2) // exact same address must be free again
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer h2.Close()
+	code, body := httpGet(t, "http://"+h2.Addr()+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	// expvar is process-global; the "obs" key must chase the restart.
+	if !strings.Contains(string(body), `"gen-two"`) {
+		t.Fatalf("expvar obs key still bound to old recorder:\n%s", body)
+	}
+}

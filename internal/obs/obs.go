@@ -269,6 +269,16 @@ const (
 	GServeInflight
 	GServeAckQueue
 
+	// Durability-SLO gauges (appended). GDurableLagEpochs is the
+	// distance global-epoch − persisted-epoch after each persist step
+	// (the live BDL window); GDurableLagNS is how long the most recently
+	// persisted epoch sat closed-but-volatile; GOldestUnackedNS is the
+	// age of the oldest write applied but not yet durable-acked, the
+	// head of the service's durability backlog.
+	GDurableLagEpochs
+	GDurableLagNS
+	GOldestUnackedNS
+
 	NumGauges
 )
 
@@ -282,8 +292,49 @@ func (g GaugeID) String() string {
 		return "serve-inflight"
 	case GServeAckQueue:
 		return "serve-ack-queue"
+	case GDurableLagEpochs:
+		return "durable-lag-epochs"
+	case GDurableLagNS:
+		return "durable-lag-ns"
+	case GOldestUnackedNS:
+		return "oldest-unacked-ns"
 	default:
 		return fmt.Sprintf("GaugeID(%d)", uint8(g))
+	}
+}
+
+// SvcHist names one service-level latency histogram: the ack-latency and
+// durability-lag distributions behind the server's SLO reporting. The
+// enum order is part of the exported metric set; append only.
+type SvcHist uint8
+
+const (
+	// SvcAppliedAckNS: request decode → applied-ack write.
+	SvcAppliedAckNS SvcHist = iota
+	// SvcDurableAckNS: request decode → durable-ack write.
+	SvcDurableAckNS
+	// SvcAckLagNS: HTM commit → durable-ack write, the per-request
+	// buffered-durability window in wall time.
+	SvcAckLagNS
+	// SvcAckLagEpochs: watermark − commit epoch at the durable ack (a
+	// histogram over small integers, not nanoseconds).
+	SvcAckLagEpochs
+
+	NumSvcHists
+)
+
+func (h SvcHist) String() string {
+	switch h {
+	case SvcAppliedAckNS:
+		return "applied-ack-ns"
+	case SvcDurableAckNS:
+		return "durable-ack-ns"
+	case SvcAckLagNS:
+		return "ack-lag-ns"
+	case SvcAckLagEpochs:
+		return "ack-lag-epochs"
+	default:
+		return fmt.Sprintf("SvcHist(%d)", uint8(h))
 	}
 }
 
@@ -298,10 +349,12 @@ type Recorder struct {
 	ops      [NumOps]Hist
 	attempts [NumOutcomes]Hist
 	phases   [NumEpochPhases]Hist
+	svc      [NumSvcHists]Hist
 	metrics  [NumMetrics]Counter
 	gauges   [NumGauges]atomic.Int64
 
 	tracer atomic.Pointer[Tracer]
+	spans  atomic.Pointer[SpanRing]
 }
 
 // New creates an enabled recorder using the monotonic wall clock.
@@ -462,6 +515,83 @@ func (r *Recorder) PhaseHist(p EpochPhase) HistSnapshot {
 	return r.phases[p].Snapshot()
 }
 
+// SvcRecord records one service-level sample (a latency or an epoch
+// count, per the SvcHist's unit) into lane shard.
+func (r *Recorder) SvcRecord(h SvcHist, shard uint64, v int64) {
+	if r == nil {
+		return
+	}
+	r.svc[h].Record(shard, v)
+}
+
+// SvcSnapshot returns the merged snapshot of one service histogram.
+func (r *Recorder) SvcSnapshot(h SvcHist) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	return r.svc[h].Snapshot()
+}
+
+// EnableSpans attaches a span ring sampling one request in every to the
+// recorder and returns it; SampleSpan draws from it until DisableSpans.
+func (r *Recorder) EnableSpans(capacity, every int) *SpanRing {
+	if r == nil {
+		return nil
+	}
+	sr := NewSpanRing(capacity, every)
+	r.spans.Store(sr)
+	return sr
+}
+
+// DisableSpans detaches the span ring (completed spans stay readable on
+// the returned ring).
+func (r *Recorder) DisableSpans() *SpanRing {
+	if r == nil {
+		return nil
+	}
+	return r.spans.Swap(nil)
+}
+
+// SpanRing returns the active span ring, or nil.
+func (r *Recorder) SpanRing() *SpanRing {
+	if r == nil {
+		return nil
+	}
+	return r.spans.Load()
+}
+
+// SampleSpan starts a span for a request if spans are enabled and the
+// request ID is sampled; otherwise it returns nil, for the cost of one
+// atomic load. The span arrives with SpanDecode stamped at the current
+// clock reading.
+func (r *Recorder) SampleSpan(reqID, conn uint64, op uint8) *Span {
+	if r == nil {
+		return nil
+	}
+	sr := r.spans.Load()
+	if sr == nil || !sr.Sampled(reqID) {
+		// The sampling decision comes before the clock read: unsampled
+		// requests (the overwhelming majority at production rates) must
+		// not pay for a timestamp they will never use.
+		return nil
+	}
+	return sr.sample(reqID, conn, op, r.now())
+}
+
+// SpanCounts reports the active ring's sampled/dropped totals (0, 0
+// when spans are disabled).
+func (r *Recorder) SpanCounts() (sampled, dropped int64) {
+	if r == nil {
+		return 0, 0
+	}
+	sr := r.spans.Load()
+	if sr == nil {
+		return 0, 0
+	}
+	sampled, dropped, _ = sr.Counts()
+	return sampled, dropped
+}
+
 // StartTrace activates event tracing with room for roughly capacity
 // events (split across shards; older events are overwritten once a
 // shard's ring fills). It returns the tracer, which stays readable after
@@ -521,6 +651,14 @@ func (r *Recorder) Snapshot() Snapshot {
 			s.EpochPhases[p.String()] = h
 		}
 	}
+	for v := SvcHist(0); v < NumSvcHists; v++ {
+		if h := r.svc[v].Snapshot(); h.Count > 0 {
+			if s.Service == nil {
+				s.Service = map[string]HistSnapshot{}
+			}
+			s.Service[v.String()] = h
+		}
+	}
 	for m := Metric(0); m < NumMetrics; m++ {
 		if v := r.metrics[m].Load(); v != 0 {
 			s.Metrics[m.String()] = v
@@ -537,6 +675,9 @@ func (r *Recorder) Snapshot() Snapshot {
 	if tr := r.tracer.Load(); tr != nil {
 		s.TraceEvents, s.TraceDropped = tr.Counts()
 	}
+	if sr := r.spans.Load(); sr != nil {
+		s.SpansSampled, s.SpansDropped, _ = sr.Counts()
+	}
 	return s
 }
 
@@ -546,8 +687,11 @@ type Snapshot struct {
 	Ops          map[string]HistSnapshot `json:"ops"`
 	Attempts     map[string]HistSnapshot `json:"attempts"`
 	EpochPhases  map[string]HistSnapshot `json:"epoch_phases"`
+	Service      map[string]HistSnapshot `json:"service,omitempty"`
 	Metrics      map[string]int64        `json:"metrics"`
 	Gauges       map[string]int64        `json:"gauges,omitempty"`
 	TraceEvents  int64                   `json:"trace_events"`
 	TraceDropped int64                   `json:"trace_dropped"`
+	SpansSampled int64                   `json:"spans_sampled,omitempty"`
+	SpansDropped int64                   `json:"spans_dropped,omitempty"`
 }

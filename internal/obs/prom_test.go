@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetricsLints: a populated recorder's exposition must pass
+// its own linter and carry the stable family names the scrape configs
+// and dashboards key on.
+func TestWriteOpenMetricsLints(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewWithClock("prom-test", clk.now)
+	r.MetricAdd(MServeReqs, 0, 7)
+	r.SetGauge(GDurableLagEpochs, 2)
+	r.SetGauge(GDurableLagNS, 1500)
+	r.EndOp(OpInsert, 0, r.Now())
+	r.Attempt(OutCommit, 0, r.Now())
+	r.Attempt(OutConflict, 1, r.Now())
+	r.SvcRecord(SvcAppliedAckNS, 0, 120)
+	r.SvcRecord(SvcDurableAckNS, 0, 90000)
+	r.SvcRecord(SvcAckLagEpochs, 0, 2)
+	r.EnableSpans(4, 1)
+	if sp := r.SampleSpan(1, 0, 2); sp == nil {
+		t.Fatal("sample failed")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintOpenMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE bdhtm_events counter",
+		`bdhtm_events_total{event="serve_reqs"} 7`,
+		"# TYPE bdhtm_durable_lag_epochs gauge",
+		"bdhtm_durable_lag_epochs 2",
+		"# TYPE bdhtm_op_latency_ns histogram",
+		`op="insert"`,
+		"# TYPE bdhtm_attempt_latency_ns histogram",
+		`outcome="conflict"`,
+		"# TYPE bdhtm_svc_applied_ack_ns histogram",
+		"bdhtm_svc_applied_ack_ns_count 1",
+		"bdhtm_spans_sampled_total 1",
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatal("exposition must end with # EOF")
+	}
+}
+
+// TestWriteOpenMetricsEmptyRecorder: a fresh recorder still produces a
+// well-formed (lintable) exposition.
+func TestWriteOpenMetricsEmptyRecorder(t *testing.T) {
+	r := New("empty")
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintOpenMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("empty exposition fails lint: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLintOpenMetricsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{
+			"missing-eof",
+			"# TYPE x_total counter\nx_total 1\n",
+			"EOF",
+		},
+		{
+			"counter-without-total",
+			"# TYPE x counter\nx 1\n# EOF\n",
+			"_total",
+		},
+		{
+			"undeclared-sample",
+			"y_bogus 1\n# EOF\n",
+			"TYPE declaration",
+		},
+		{
+			"bad-le",
+			"# TYPE h histogram\nh_bucket{le=\"zebra\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n# EOF\n",
+			"le",
+		},
+		{
+			"non-increasing-le",
+			"# TYPE h histogram\nh_bucket{le=\"3\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 2\n# EOF\n",
+			"le",
+		},
+		{
+			"non-cumulative",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 0\nh_count 5\n# EOF\n",
+			"cumulative",
+		},
+		{
+			"count-mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 7\n# EOF\n",
+			"count",
+		},
+		{
+			"bad-value",
+			"# TYPE g gauge\ng banana\n# EOF\n",
+			"value",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := LintOpenMetrics([]byte(c.text))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+	good := "# TYPE x counter\nx_total 1\n# EOF\n"
+	if err := LintOpenMetrics([]byte(good)); err != nil {
+		t.Fatalf("minimal valid exposition rejected: %v", err)
+	}
+}

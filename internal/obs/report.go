@@ -195,6 +195,31 @@ type NetSummary struct {
 	// window (2) when acks drain promptly.
 	AckLagEpochs int64 `json:"ack_lag_epochs"`
 	ProtoErrors  int64 `json:"proto_errors,omitempty"`
+
+	// SLO is the server-side durability-SLO breakdown (omitted by rows
+	// from runs without an obs recorder on the server).
+	SLO *NetSLO `json:"slo,omitempty"`
+}
+
+// NetSLO summarizes the server-side SLO histograms of a serve run: ack
+// latencies split applied vs durable, the commit→durable lag in both
+// clocks (wall time and epochs), and the HTM abort-cause breakdown the
+// service saw. DurableSamples is the durable-ack histogram count and
+// must equal the row's AckedDurable — each durable ack records exactly
+// one sample, the conservation law ValidateReport enforces.
+type NetSLO struct {
+	AppliedAckP50NS int64 `json:"applied_ack_p50_ns"`
+	AppliedAckP99NS int64 `json:"applied_ack_p99_ns"`
+	DurableAckP50NS int64 `json:"durable_ack_p50_ns"`
+	DurableAckP99NS int64 `json:"durable_ack_p99_ns"`
+
+	AckLagP50NS     int64 `json:"ack_lag_p50_ns"`
+	AckLagP99NS     int64 `json:"ack_lag_p99_ns"`
+	AckLagP50Epochs int64 `json:"ack_lag_p50_epochs"`
+	AckLagP99Epochs int64 `json:"ack_lag_p99_epochs"`
+
+	DurableSamples int64            `json:"durable_samples"`
+	AbortCauses    map[string]int64 `json:"abort_causes,omitempty"`
 }
 
 // RecoverySummary is one measured crash-recovery point from the recover
@@ -344,6 +369,27 @@ func ValidateReport(data []byte) error {
 			}
 			if n.AckedApplied < 0 || n.AckedDurable < 0 || n.AckLagEpochs < 0 || n.ProtoErrors < 0 {
 				return fmt.Errorf("%s: negative net ack counters", where)
+			}
+			if s := n.SLO; s != nil {
+				for _, pair := range [][2]int64{
+					{s.AppliedAckP50NS, s.AppliedAckP99NS},
+					{s.DurableAckP50NS, s.DurableAckP99NS},
+					{s.AckLagP50NS, s.AckLagP99NS},
+					{s.AckLagP50Epochs, s.AckLagP99Epochs},
+				} {
+					if pair[0] < 0 || pair[0] > pair[1] {
+						return fmt.Errorf("%s: slo percentiles not ordered (%d, %d)", where, pair[0], pair[1])
+					}
+				}
+				if s.DurableSamples != n.AckedDurable {
+					return fmt.Errorf("%s: slo durable_samples %d != acked_durable %d (histogram not conserved against the ack ledger)",
+						where, s.DurableSamples, n.AckedDurable)
+				}
+				for cause, cnt := range s.AbortCauses {
+					if cnt < 0 {
+						return fmt.Errorf("%s: negative abort cause %q", where, cause)
+					}
+				}
 			}
 		}
 	}

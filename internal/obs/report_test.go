@@ -54,6 +54,14 @@ func fixedReport() *Report {
 			Conns: 4, Mode: "closed",
 			NetP50NS: 25000, NetP99NS: 180000,
 			AckedApplied: 40000, AckedDurable: 40000, AckLagEpochs: 2,
+			SLO: &NetSLO{
+				AppliedAckP50NS: 9000, AppliedAckP99NS: 60000,
+				DurableAckP50NS: 2100000, DurableAckP99NS: 4400000,
+				AckLagP50NS: 2000000, AckLagP99NS: 4200000,
+				AckLagP50Epochs: 1, AckLagP99Epochs: 2,
+				DurableSamples: 40000,
+				AbortCauses:    map[string]int64{"conflict": 180, "capacity": 3},
+			},
 		},
 		Recovery: &RecoverySummary{
 			HeapWords: 1 << 21, Workers: 4,
@@ -161,6 +169,14 @@ func TestValidateReportRejects(t *testing.T) {
 		{"net bad mode", func(r *Report) { r.Results[0].Net.Mode = "burst" }, "net mode"},
 		{"net percentile inversion", func(r *Report) { r.Results[0].Net.NetP50NS = r.Results[0].Net.NetP99NS + 1 }, "net percentiles"},
 		{"net negative acks", func(r *Report) { r.Results[0].Net.AckedDurable = -1 }, "net ack"},
+		{"slo percentile inversion", func(r *Report) {
+			r.Results[0].Net.SLO.AckLagP50NS = r.Results[0].Net.SLO.AckLagP99NS + 1
+		}, "slo percentiles"},
+		{"slo epoch percentile inversion", func(r *Report) {
+			r.Results[0].Net.SLO.AckLagP50Epochs = 3
+		}, "slo percentiles"},
+		{"slo samples not conserved", func(r *Report) { r.Results[0].Net.SLO.DurableSamples++ }, "conserved"},
+		{"slo negative abort cause", func(r *Report) { r.Results[0].Net.SLO.AbortCauses["conflict"] = -1 }, "abort cause"},
 	}
 	for _, m := range mutate {
 		t.Run(m.name, func(t *testing.T) {

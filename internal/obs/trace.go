@@ -23,6 +23,7 @@ const (
 	EvFree                        // palloc free; Arg1 = addr
 	EvCrash                       // simulated power failure; Arg1 = crash count
 	EvRecover                     // recovery pass; Arg1 = recovery boundary epoch
+	EvSpanPhase                   // request span phase; Arg1 = SpanPhase, Arg2 = request ID
 
 	NumEventKinds
 )
@@ -51,6 +52,8 @@ func (k EventKind) String() string {
 		return "crash"
 	case EvRecover:
 		return "recover"
+	case EvSpanPhase:
+		return "span-phase"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -66,6 +69,8 @@ func (e Event) name() string {
 		return "attempt." + Outcome(e.Arg1).String()
 	case EvEpochPhase:
 		return "epoch." + EpochPhase(e.Arg1).String()
+	case EvSpanPhase:
+		return "span." + SpanPhase(e.Arg1).String()
 	default:
 		return e.Kind.String()
 	}

@@ -31,7 +31,7 @@ retryRegist:
 			// transaction (Listing 1 lines 20-29).
 			var retire, persist epoch.Block
 			var usedPrealloc bool
-			res := l.htmApply(nil,
+			res := l.htmApply(h.w, nil,
 				func(tx *htm.Tx) {
 					// A failed attempt may have run this closure to
 					// completion (conflicts surface at commit); reset the
@@ -93,7 +93,7 @@ retryRegist:
 		for i := 0; i < lvl; i++ {
 			entries[i] = mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: succs[i], New: uint64(node)}
 		}
-		res := l.htmApply(entries,
+		res := l.htmApply(h.w, entries,
 			func(tx *htm.Tx) {
 				// The absence this insert acts on may have been created by a
 				// removal from a newer epoch (no block left to epoch-check).
@@ -161,7 +161,7 @@ retryRegist:
 			continue
 		}
 		var retire epoch.Block
-		res := l.htmApply(entries,
+		res := l.htmApply(h.w, entries,
 			func(tx *htm.Tx) {
 				blk := l.cfg.DataSys.BlockAt(nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found))))
 				if blk.EpochTx(tx) > opEpoch {

@@ -287,6 +287,15 @@ func (l *List) find(k uint64) (preds []nvm.Addr, succs []uint64, found nvm.Addr)
 	return preds, succs, found
 }
 
+// SetSpan attaches a sampled request span to the handle's epoch worker
+// for the duration of one operation (BDL only; a no-op for transient
+// variants, which have no worker to carry it).
+func (h *Handle) SetSpan(sp *obs.Span) {
+	if h.w != nil {
+		h.w.SetSpan(sp)
+	}
+}
+
 // Get returns the value stored under k.
 func (h *Handle) Get(k uint64) (uint64, bool) {
 	l := h.l
@@ -322,7 +331,7 @@ func (h *Handle) getBDL(k uint64) (uint64, bool) {
 		}
 		var v uint64
 		var ok bool
-		res := l.cfg.TM.Attempt(func(tx *htm.Tx) {
+		res := h.w.Attempt(l.cfg.TM, func(tx *htm.Tx) {
 			tx.Subscribe(l.lock)
 			if tx.LoadAddr(l.h, l.nextAddr(found, 0))&delMark != 0 {
 				ok = false
@@ -436,7 +445,7 @@ func (h *Handle) apply(entries []mwcas.Entry) bool {
 	if h.l.desc != nil {
 		return h.l.desc.Apply(h.tid, entries)
 	}
-	return h.l.htmApply(entries, nil, nil) == applyOK
+	return h.l.htmApply(h.w, entries, nil, nil) == applyOK
 }
 
 // applyResult is the outcome of one transactional multi-word update.
@@ -459,11 +468,11 @@ const (
 // extra: it performs any non-entry reads/writes itself (using DirectStore)
 // and returns the outcome; entries are validated before and stored after
 // it only when it returns applyOK.
-func (l *List) htmApply(entries []mwcas.Entry, extra func(tx *htm.Tx), direct func() applyResult) applyResult {
+func (l *List) htmApply(w *epoch.Worker, entries []mwcas.Entry, extra func(tx *htm.Tx), direct func() applyResult) applyResult {
 	const maxRetries = 64
 	retries := 0
 	for {
-		res := l.cfg.TM.Attempt(func(tx *htm.Tx) {
+		res := l.attemptW(w, func(tx *htm.Tx) {
 			tx.Subscribe(l.lock)
 			for _, e := range entries {
 				if tx.LoadAddr(l.h, e.Addr) != e.Old {
@@ -495,6 +504,16 @@ func (l *List) htmApply(entries []mwcas.Entry, extra func(tx *htm.Tx), direct fu
 			}
 		}
 	}
+}
+
+// attemptW routes one HTM attempt through the handle's epoch worker when
+// one exists (BDL), so the attempt lands in the worker's request span;
+// transient variants pass w == nil and hit the TM directly.
+func (l *List) attemptW(w *epoch.Worker, body func(tx *htm.Tx)) htm.Result {
+	if w != nil {
+		return w.Attempt(l.cfg.TM, body)
+	}
+	return l.cfg.TM.Attempt(body)
 }
 
 func (l *List) htmFallback(entries []mwcas.Entry, direct func() applyResult) applyResult {

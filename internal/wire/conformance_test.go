@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -75,6 +76,45 @@ var goldenFrames = []struct {
 		msg:  Msg{Type: RespError, ID: 11, Code: ECodeServer},
 		hex:  "bd018500" + "0b000000" + "0b00000000000000" + "02" + "0000",
 	},
+	{
+		name: "stats",
+		msg:  Msg{Type: CmdStats, ID: 12},
+		hex:  "bd010500" + "08000000" + "0c00000000000000",
+	},
+	{
+		// Every field carries its 1-based wire position as its value, so
+		// a reordering of statsFields shows up as a mismatch here.
+		name: "stats-resp",
+		msg: Msg{Type: RespStats, ID: 13, Stats: &StatsSnap{
+			GlobalEpoch: 1, PersistedEpoch: 2, Advances: 3, Backpressure: 4,
+			FlusherDepth: 5, Conns: 6, OpenConns: 7, Requests: 8,
+			WriteCommits: 9, AppliedAcks: 10, DurableAcks: 11, ProtoErrors: 12,
+			Inflight: 13, AckQueue: 14, MaxAckLagEpochs: 15, OldestUnackedNS: 16,
+			TxCommits: 17, AbortsConflict: 18, AbortsCapacity: 19, AbortsInjected: 20,
+			AbortsOther: 21, FlushedBlocks: 22, SpansSampled: 23, SpansDropped: 24,
+		}},
+		hex: "bd018600" + "c8000000" + "0d00000000000000" +
+			"0100000000000000" + "0200000000000000" + "0300000000000000" + "0400000000000000" +
+			"0500000000000000" + "0600000000000000" + "0700000000000000" + "0800000000000000" +
+			"0900000000000000" + "0a00000000000000" + "0b00000000000000" + "0c00000000000000" +
+			"0d00000000000000" + "0e00000000000000" + "0f00000000000000" + "1000000000000000" +
+			"1100000000000000" + "1200000000000000" + "1300000000000000" + "1400000000000000" +
+			"1500000000000000" + "1600000000000000" + "1700000000000000" + "1800000000000000",
+	},
+}
+
+// msgEqual compares two Msgs, following the Stats pointer by value (the
+// decoder always allocates a fresh snapshot).
+func msgEqual(a, b Msg) bool {
+	as, bs := a.Stats, b.Stats
+	a.Stats, b.Stats = nil, nil
+	if a != b {
+		return false
+	}
+	if (as == nil) != (bs == nil) {
+		return false
+	}
+	return as == nil || *as == *bs
 }
 
 func TestGoldenFrames(t *testing.T) {
@@ -96,7 +136,7 @@ func TestGoldenFrames(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Read: %v", err)
 			}
-			if dec != g.msg {
+			if !msgEqual(dec, g.msg) {
 				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, g.msg)
 			}
 			if _, err := r.Read(); err != io.EOF {
@@ -121,7 +161,7 @@ func TestPipelinedStream(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if m != g.msg {
+		if !msgEqual(m, g.msg) {
 			t.Fatalf("frame %d mismatch: got %+v want %+v", i, m, g.msg)
 		}
 	}
@@ -360,4 +400,38 @@ func FuzzDecode(f *testing.F) {
 			off = end
 		}
 	})
+}
+
+// TestStatsSnapPinned pins the snapshot layout: every StatsSnap struct
+// field must appear in statsFields (the wire order), and the payload
+// length must follow. Adding a field without threading it through the
+// encoder is a silent-zero bug this catches at compile-review time.
+func TestStatsSnapPinned(t *testing.T) {
+	if n := reflect.TypeOf(StatsSnap{}).NumField(); n != numStatsFields {
+		t.Fatalf("StatsSnap has %d fields, statsFields carries %d: new fields must be added to the wire order (and the version considered)", n, numStatsFields)
+	}
+	if want := 8 + 8*numStatsFields; statsPayloadLen != want {
+		t.Fatalf("statsPayloadLen = %d, want %d", statsPayloadLen, want)
+	}
+	// Distinct sentinel per field: a swapped or skipped pointer in
+	// statsFields shows up as a round-trip mismatch.
+	var s StatsSnap
+	fields := s.statsFields()
+	for i, p := range fields {
+		*p = uint64(i + 1)
+	}
+	rv := reflect.ValueOf(s)
+	for i := 0; i < rv.NumField(); i++ {
+		if got := rv.Field(i).Uint(); got != uint64(i+1) {
+			t.Fatalf("struct field %d (%s) = %d after statsFields fill; wire order does not match struct order", i, rv.Type().Field(i).Name, got)
+		}
+	}
+}
+
+// TestStatsNilPayloadRejected: encoding a RespStats without a snapshot
+// is a programming error, not a zero-filled frame.
+func TestStatsNilPayloadRejected(t *testing.T) {
+	if _, err := Append(nil, &Msg{Type: RespStats, ID: 1}); err == nil {
+		t.Fatal("Append(RespStats with nil Stats) succeeded, want error")
+	}
 }

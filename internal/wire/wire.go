@@ -55,16 +55,18 @@ const (
 type Type uint8
 
 const (
-	CmdGet  Type = 0x01 // id, key -> RespValue
-	CmdPut  Type = 0x02 // id, key, value -> RespApplied / RespDurable
-	CmdDel  Type = 0x03 // id, key -> RespApplied / RespDurable
-	CmdScan Type = 0x04 // id, start key, count -> RespScan (stub)
+	CmdGet   Type = 0x01 // id, key -> RespValue
+	CmdPut   Type = 0x02 // id, key, value -> RespApplied / RespDurable
+	CmdDel   Type = 0x03 // id, key -> RespApplied / RespDurable
+	CmdScan  Type = 0x04 // id, start key, count -> RespScan (stub)
+	CmdStats Type = 0x05 // id -> RespStats
 
 	RespValue   Type = 0x81 // id, found, value
 	RespApplied Type = 0x82 // id, ok, commit epoch
 	RespDurable Type = 0x83 // id, ok, commit epoch
 	RespScan    Type = 0x84 // id, entry count (always 0: wire-level stub)
 	RespError   Type = 0x85 // id, code, text
+	RespStats   Type = 0x86 // id, StatsSnap (fixed counter block)
 )
 
 func (t Type) String() string {
@@ -77,6 +79,8 @@ func (t Type) String() string {
 		return "DEL"
 	case CmdScan:
 		return "SCAN"
+	case CmdStats:
+		return "STATS"
 	case RespValue:
 		return "VALUE"
 	case RespApplied:
@@ -87,6 +91,8 @@ func (t Type) String() string {
 		return "SCANR"
 	case RespError:
 		return "ERROR"
+	case RespStats:
+		return "STATSR"
 	default:
 		return fmt.Sprintf("Type(%#x)", uint8(t))
 	}
@@ -95,7 +101,7 @@ func (t Type) String() string {
 // IsRequest reports whether t is a client-to-server frame type.
 func (t Type) IsRequest() bool {
 	switch t {
-	case CmdGet, CmdPut, CmdDel, CmdScan:
+	case CmdGet, CmdPut, CmdDel, CmdScan, CmdStats:
 		return true
 	}
 	return false
@@ -118,6 +124,8 @@ func payloadLen(t Type) (n int, ok bool) {
 		return 24, true // id + key + value
 	case CmdScan:
 		return 20, true // id + start + count
+	case CmdStats:
+		return 8, true // id
 	case RespValue:
 		return 17, true // id + found + value
 	case RespApplied, RespDurable:
@@ -126,11 +134,62 @@ func payloadLen(t Type) (n int, ok bool) {
 		return 12, true // id + count
 	case RespError:
 		return -1, true // id + code + len + text (variable)
+	case RespStats:
+		return statsPayloadLen, true // id + the fixed counter block
 	}
 	return 0, false
 }
 
 const respErrorMinLen = 11 // id + code + text length
+
+// StatsSnap is the compact binary server snapshot carried by RespStats:
+// a fixed block of little-endian uint64 counters so pollers (cmd/bdtop,
+// health checks) can sample a live server over its own protocol without
+// HTTP. Field order is the wire order — append only.
+type StatsSnap struct {
+	GlobalEpoch     uint64 // active epoch
+	PersistedEpoch  uint64 // durable watermark
+	Advances        uint64 // epoch advances since start
+	Backpressure    uint64 // advances that blocked on the flusher
+	FlusherDepth    uint64 // closed epochs handed to the flusher (0/1)
+	Conns           uint64 // connections ever accepted
+	OpenConns       uint64 // connections currently open
+	Requests        uint64 // frames dispatched
+	WriteCommits    uint64 // puts/dels applied
+	AppliedAcks     uint64 // applied acks sent
+	DurableAcks     uint64 // durable acks sent
+	ProtoErrors     uint64 // protocol errors (connection-fatal)
+	Inflight        uint64 // requests decoded, not yet applied-acked
+	AckQueue        uint64 // writes applied, awaiting durable ack
+	MaxAckLagEpochs uint64 // worst watermark-commit distance at ack
+	OldestUnackedNS uint64 // age of the oldest write awaiting its durable ack
+	TxCommits       uint64 // HTM commits
+	AbortsConflict  uint64 // HTM conflict aborts
+	AbortsCapacity  uint64 // HTM capacity aborts
+	AbortsInjected  uint64 // injected (spurious + memtype) aborts
+	AbortsOther     uint64 // explicit + locked + persist-op aborts
+	FlushedBlocks   uint64 // NVM blocks written back by epoch flushes
+	SpansSampled    uint64 // request spans sampled
+	SpansDropped    uint64 // span samples dropped on ring wrap
+}
+
+// numStatsFields is the wire field count of StatsSnap; statsFields and
+// the struct must agree (pinned by a conformance test).
+const numStatsFields = 24
+
+const statsPayloadLen = 8 + 8*numStatsFields // id + counter block
+
+// statsFields returns pointers to every counter in wire order.
+func (s *StatsSnap) statsFields() [numStatsFields]*uint64 {
+	return [numStatsFields]*uint64{
+		&s.GlobalEpoch, &s.PersistedEpoch, &s.Advances, &s.Backpressure,
+		&s.FlusherDepth, &s.Conns, &s.OpenConns, &s.Requests,
+		&s.WriteCommits, &s.AppliedAcks, &s.DurableAcks, &s.ProtoErrors,
+		&s.Inflight, &s.AckQueue, &s.MaxAckLagEpochs, &s.OldestUnackedNS,
+		&s.TxCommits, &s.AbortsConflict, &s.AbortsCapacity, &s.AbortsInjected,
+		&s.AbortsOther, &s.FlushedBlocks, &s.SpansSampled, &s.SpansDropped,
+	}
+}
 
 // ProtocolError is the typed decode failure every malformed input maps
 // to. The package-level sentinels classify the failure; concrete errors
@@ -201,6 +260,8 @@ func protoErr(s *ProtocolError, format string, args ...any) error {
 //	RespDurable     OK, Epoch (commit epoch, ≤ the durable watermark)
 //	RespScan        Count (entries; always 0 — wire-level stub)
 //	RespError       Code, Text
+//	CmdStats        (ID only)
+//	RespStats       Stats (the counter block)
 type Msg struct {
 	Type  Type
 	ID    uint64
@@ -212,6 +273,7 @@ type Msg struct {
 	Count uint32
 	Code  uint8
 	Text  string
+	Stats *StatsSnap // RespStats only
 }
 
 // Append encodes m onto buf and returns the extended slice. Encoding a
@@ -249,6 +311,18 @@ func Append(buf []byte, m *Msg) ([]byte, error) {
 		binary.LittleEndian.PutUint64(payload[0:], m.ID)
 		binary.LittleEndian.PutUint32(payload[8:], m.Count)
 		body = payload[:12]
+	case CmdStats:
+		binary.LittleEndian.PutUint64(payload[0:], m.ID)
+		body = payload[:8]
+	case RespStats:
+		if m.Stats == nil {
+			return buf, fmt.Errorf("wire: RespStats without a stats block")
+		}
+		body = make([]byte, statsPayloadLen)
+		binary.LittleEndian.PutUint64(body[0:], m.ID)
+		for i, f := range m.Stats.statsFields() {
+			binary.LittleEndian.PutUint64(body[8+8*i:], *f)
+		}
 	case RespError:
 		if len(m.Text) > MaxErrText {
 			return buf, fmt.Errorf("wire: error text %d bytes exceeds %d", len(m.Text), MaxErrText)
@@ -355,6 +429,11 @@ func (r *Reader) Read() (Msg, error) {
 		m.Epoch = binary.LittleEndian.Uint64(p[9:])
 	case RespScan:
 		m.Count = binary.LittleEndian.Uint32(p[8:])
+	case RespStats:
+		m.Stats = &StatsSnap{}
+		for i, f := range m.Stats.statsFields() {
+			*f = binary.LittleEndian.Uint64(p[8+8*i:])
+		}
 	case RespError:
 		m.Code = p[8]
 		tl := int(binary.LittleEndian.Uint16(p[9:]))
