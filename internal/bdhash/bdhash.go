@@ -45,10 +45,11 @@ const (
 // values. All methods are safe for concurrent use; each goroutine passes
 // its own epoch.Worker.
 type Table struct {
-	sys  *epoch.System
-	tm   *htm.TM
-	lock *htm.FallbackLock
-	tag  uint8
+	sys    *epoch.System
+	tm     *htm.TM
+	lock   *htm.FallbackLock
+	hybrid bool // fine-grained slow path; transactions skip subscription
+	tag    uint8
 
 	nBuckets uint64 // power of two
 	slots    []uint64
@@ -86,6 +87,7 @@ func New(sys *epoch.System, tm *htm.TM, capacity int, tag uint8) *Table {
 		sys:      sys,
 		tm:       tm,
 		lock:     htm.NewFallbackLock(tm),
+		hybrid:   tm.Hybrid(),
 		tag:      tag,
 		nBuckets: nBuckets,
 		slots:    make([]uint64, nBuckets*BucketSize),
@@ -149,7 +151,9 @@ retryTxn:
 		opts = append(opts, htm.PreWalked())
 	}
 	res := w.Attempt(t.tm, func(tx *htm.Tx) {
-		tx.Subscribe(t.lock)
+		if !t.hybrid {
+			tx.Subscribe(t.lock)
+		}
 		newBlk.SetEpochTx(tx, opEpoch)
 		t.insertBody(tx, w, opEpoch, k, v, newBlk, &out)
 	}, opts...)
@@ -254,66 +258,62 @@ func (t *Table) insertBody(tx *htm.Tx, w *epoch.Worker, opEpoch, k, v uint64, ne
 	out.usedPrealloc = true
 }
 
-// insertFallback runs the insert under the global lock. It returns false
-// if the operation must restart in a newer epoch.
+// insertFallback runs the insert as a slow-path session: per-line locks
+// on the hybrid path, the global lock otherwise. It returns false if the
+// operation must restart in a newer epoch.
 func (t *Table) insertFallback(w *epoch.Worker, opEpoch, k, v uint64, newBlk epoch.Block, out *insertOutcome) bool {
-	t.lock.Acquire()
-	defer t.lock.Release()
-	*out = insertOutcome{}
-	start, n := t.slotRange(k)
-	var empty *uint64
-	for i := uint64(0); i < n; i++ {
-		sp := t.slotAt(start + i)
-		addr := t.tm.DirectLoad(sp)
-		if addr == 0 {
-			if empty == nil {
-				empty = sp
+	ok := true
+	t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+		// The session body may be re-executed after a lock-order restart:
+		// reset all outputs and reach shared state only through f.
+		ok = true
+		*out = insertOutcome{}
+		start, n := t.slotRange(k)
+		var empty *uint64
+		for i := uint64(0); i < n; i++ {
+			sp := t.slotAt(start + i)
+			addr := f.Load(sp)
+			if addr == 0 {
+				if empty == nil {
+					empty = sp
+				}
+				continue
 			}
-			continue
+			b := t.sys.BlockAt(nvm.Addr(addr))
+			if b.KeyF(f) != k {
+				continue
+			}
+			be := b.EpochF(f)
+			switch {
+			case be > opEpoch:
+				ok = false // OldSeeNew: restart outside
+				return
+			case be < opEpoch:
+				newBlk.SetEpochF(f, opEpoch)
+				f.Store(sp, uint64(newBlk.Addr()))
+				out.retire = b
+				out.persist = newBlk
+				out.usedPrealloc = true
+			default:
+				b.SetValueF(f, v)
+			}
+			out.replaced = true
+			return
 		}
-		b := t.sys.BlockAt(nvm.Addr(addr))
-		if b.Key() != k {
-			continue
+		if empty == nil {
+			out.full = true
+			return
 		}
-		be := b.Epoch()
-		switch {
-		case be > opEpoch:
-			return false // OldSeeNew: restart outside
-		case be < opEpoch:
-			t.setEpochDirect(newBlk, opEpoch)
-			t.tm.DirectStore(sp, uint64(newBlk.Addr()))
-			out.retire = b
-			out.persist = newBlk
-			out.usedPrealloc = true
-		default:
-			t.tm.DirectStoreAddr(t.sys.Heap(), b.Payload(1), v)
+		if !t.removals.OkF(f, k, opEpoch) {
+			ok = false // absence created by a newer-epoch removal
+			return
 		}
-		out.replaced = true
-		return true
-	}
-	if empty == nil {
-		out.full = true
-		return true
-	}
-	if !t.removals.Ok(t.tm, k, opEpoch) {
-		return false // absence created by a newer-epoch removal
-	}
-	t.setEpochDirect(newBlk, opEpoch)
-	t.tm.DirectStore(empty, uint64(newBlk.Addr()))
-	out.persist = newBlk
-	out.usedPrealloc = true
-	return true
-}
-
-// setEpochDirect stamps a not-yet-visible block's epoch from the fallback
-// path. The header word itself is private until the slot store publishes
-// the block, but the stamp must still precede that store.
-func (t *Table) setEpochDirect(b epoch.Block, e uint64) {
-	h := t.sys.Heap()
-	hdrAddr := b.Addr()
-	hdr := h.Load(hdrAddr)
-	hdr = hdr&^((uint64(1)<<48)-1) | e
-	t.tm.DirectStoreAddr(h, hdrAddr, hdr)
+		newBlk.SetEpochF(f, opEpoch)
+		f.Store(empty, uint64(newBlk.Addr()))
+		out.persist = newBlk
+		out.usedPrealloc = true
+	})
+	return ok
 }
 
 // preWalk touches the key's probe window non-transactionally, the paper's
@@ -346,11 +346,14 @@ func (t *Table) GetW(w *epoch.Worker, k uint64) (uint64, bool) {
 			return w.Attempt(t.tm, body, opts...)
 		}
 	}
+	retries := 0
 	for {
 		var v uint64
 		var ok bool
 		res := attempt(func(tx *htm.Tx) {
-			tx.Subscribe(t.lock)
+			if !t.hybrid {
+				tx.Subscribe(t.lock)
+			}
 			v, ok = 0, false
 			start, n := t.slotRange(k)
 			for i := uint64(0); i < n; i++ {
@@ -370,6 +373,28 @@ func (t *Table) GetW(w *epoch.Worker, k uint64) (uint64, bool) {
 		}
 		if res.Cause == htm.CauseLocked {
 			t.lock.WaitUnlocked()
+			continue
+		}
+		if retries++; t.hybrid && retries >= maxRetries {
+			// A long slow-path writer parked on this probe window would
+			// otherwise abort this loop indefinitely; a read-only session
+			// waits its turn per line instead.
+			t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+				v, ok = 0, false
+				start, n := t.slotRange(k)
+				for i := uint64(0); i < n; i++ {
+					addr := f.Load(t.slotAt(start + i))
+					if addr == 0 {
+						continue
+					}
+					b := t.sys.BlockAt(nvm.Addr(addr))
+					if b.KeyF(f) == k {
+						v, ok = b.ValueF(f), true
+						return
+					}
+				}
+			})
+			return v, ok
 		}
 	}
 }
@@ -387,7 +412,9 @@ retryRegist:
 retryTxn:
 	retire, removed = epoch.Block{}, false
 	res := w.Attempt(t.tm, func(tx *htm.Tx) {
-		tx.Subscribe(t.lock)
+		if !t.hybrid {
+			tx.Subscribe(t.lock)
+		}
 		start, n := t.slotRange(k)
 		for i := uint64(0); i < n; i++ {
 			sp := t.slotAt(start + i)
@@ -438,31 +465,35 @@ retryTxn:
 }
 
 func (t *Table) removeFallback(w *epoch.Worker, opEpoch, k uint64, retire *epoch.Block, removed *bool) bool {
-	t.lock.Acquire()
-	defer t.lock.Release()
-	*retire, *removed = epoch.Block{}, false
-	start, n := t.slotRange(k)
-	for i := uint64(0); i < n; i++ {
-		sp := t.slotAt(start + i)
-		addr := t.tm.DirectLoad(sp)
-		if addr == 0 {
-			continue
+	ok := true
+	t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+		ok = true
+		*retire, *removed = epoch.Block{}, false
+		start, n := t.slotRange(k)
+		for i := uint64(0); i < n; i++ {
+			sp := t.slotAt(start + i)
+			addr := f.Load(sp)
+			if addr == 0 {
+				continue
+			}
+			b := t.sys.BlockAt(nvm.Addr(addr))
+			if b.KeyF(f) != k {
+				continue
+			}
+			if b.EpochF(f) > opEpoch {
+				ok = false
+				return
+			}
+			t.removals.RaiseF(f, k, opEpoch)
+			f.Store(sp, 0)
+			*retire = b
+			*removed = true
+			return
 		}
-		b := t.sys.BlockAt(nvm.Addr(addr))
-		if b.Key() != k {
-			continue
-		}
-		if b.Epoch() > opEpoch {
-			return false
-		}
-		t.removals.Raise(t.tm, k, opEpoch)
-		t.tm.DirectStore(sp, 0)
-		*retire = b
-		*removed = true
-		return true
-	}
-	// Absent: restart in a newer epoch if a newer removal made it so.
-	return t.removals.Ok(t.tm, k, opEpoch)
+		// Absent: restart in a newer epoch if a newer removal made it so.
+		ok = t.removals.OkF(f, k, opEpoch)
+	})
+	return ok
 }
 
 // RebuildBlock reinserts one recovered block into the DRAM index. Call it

@@ -83,7 +83,7 @@ func TestResolveDeterminism(t *testing.T) {
 	if c.KeySpace != a.KeySpace || c.Evict != a.Evict || c.Workers != a.Workers ||
 		c.AdvEvery != a.AdvEvery || c.Spurious != a.Spurious || c.MemType != a.MemType ||
 		c.CrashEvents != a.CrashEvents || c.TailAdvances != a.TailAdvances ||
-		c.Shards != a.Shards || c.Async != a.Async {
+		c.Shards != a.Shards || c.Async != a.Async || c.FGL != a.FGL {
 		t.Fatalf("overriding Ops shifted other derived fields:\n%+v\n%+v", a, c)
 	}
 }
@@ -96,8 +96,8 @@ func TestParseReplayDefaultsPipelineFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Shards != 0 || p.Async != Derive {
-		t.Fatalf("old-format spec: Shards = %d (want 0 = derive), Async = %d (want %d = derive)", p.Shards, p.Async, Derive)
+	if p.Shards != 0 || p.Async != Derive || p.FGL != Derive {
+		t.Fatalf("old-format spec: Shards = %d (want 0 = derive), Async = %d, FGL = %d (want %d = derive)", p.Shards, p.Async, p.FGL, Derive)
 	}
 	r := Resolve(p)
 	if r.Shards != 1 && r.Shards != 4 {
@@ -105,6 +105,9 @@ func TestParseReplayDefaultsPipelineFields(t *testing.T) {
 	}
 	if r.Async != 0 && r.Async != 1 {
 		t.Fatalf("resolved Async = %d, want 0 or 1", r.Async)
+	}
+	if r.FGL != 0 && r.FGL != 1 {
+		t.Fatalf("resolved FGL = %d, want 0 or 1", r.FGL)
 	}
 }
 

@@ -52,6 +52,23 @@ func (b Block) SetEpochTx(tx *htm.Tx, e uint64) {
 	tx.StoreAddr(b.sys.heap, b.addr, hdr.Pack())
 }
 
+// EpochF reads the block's epoch through a fallback session, locking the
+// header's line for the rest of the session (the slow-path analogue of
+// EpochTx's read-set entry).
+func (b Block) EpochF(f *htm.Fallback) uint64 {
+	return palloc.UnpackHeader(f.LoadAddr(b.sys.heap, b.addr)).Epoch
+}
+
+// SetEpochF stamps the block with an epoch through a fallback session
+// (the slow-path SetEpochTx). The buffered header write is published with
+// the session's other writes, so the stamp still precedes the store that
+// links the block.
+func (b Block) SetEpochF(f *htm.Fallback, e uint64) {
+	hdr := palloc.UnpackHeader(f.LoadAddr(b.sys.heap, b.addr))
+	hdr.Epoch = e
+	f.StoreAddr(b.sys.heap, b.addr, hdr.Pack())
+}
+
 // ResetEpoch non-transactionally resets the block's epoch to invalid.
 // Per the Sec. 5 guidelines, a preallocated block whose previous attempt
 // was interrupted must be re-invalidated when the operation restarts; this
@@ -97,6 +114,17 @@ func (b Block) StoreTx(tx *htm.Tx, i int, v uint64) {
 	tx.StoreAddr(b.sys.heap, b.Payload(i), v)
 }
 
+// LoadF reads payload word i through a fallback session.
+func (b Block) LoadF(f *htm.Fallback, i int) uint64 {
+	return f.LoadAddr(b.sys.heap, b.Payload(i))
+}
+
+// StoreF writes payload word i through a fallback session (the slow-path
+// pSet for in-place updates of current-epoch blocks).
+func (b Block) StoreF(f *htm.Fallback, i int, v uint64) {
+	f.StoreAddr(b.sys.heap, b.Payload(i), v)
+}
+
 // --- KV convenience -------------------------------------------------------
 //
 // Most structures in the paper persist 8-byte-key/8-byte-value records.
@@ -133,3 +161,12 @@ func (b Block) ValueTx(tx *htm.Tx) uint64 { return b.LoadTx(tx, 1) }
 // SetValueTx updates the value in place transactionally (pSet). Only legal
 // when the block's epoch equals the operation's epoch.
 func (b Block) SetValueTx(tx *htm.Tx, v uint64) { b.StoreTx(tx, 1, v) }
+
+// KeyF reads the key through a fallback session.
+func (b Block) KeyF(f *htm.Fallback) uint64 { return b.LoadF(f, 0) }
+
+// ValueF reads the value through a fallback session.
+func (b Block) ValueF(f *htm.Fallback) uint64 { return b.LoadF(f, 1) }
+
+// SetValueF updates the value in place through a fallback session.
+func (b Block) SetValueF(f *htm.Fallback, v uint64) { b.StoreF(f, 1, v) }

@@ -68,3 +68,18 @@ func (r *RemovalStamps) Raise(tm *htm.TM, k, opEpoch uint64) {
 		tm.DirectStore(p, opEpoch)
 	}
 }
+
+// OkF is Ok through a hybrid fallback session: the stamp word's line is
+// locked for the rest of the session, so a racing removal's RaiseTx
+// conflicts with this absence check exactly as it would transactionally.
+func (r *RemovalStamps) OkF(f *htm.Fallback, k, opEpoch uint64) bool {
+	return f.Load(r.slot(k)) <= opEpoch
+}
+
+// RaiseF is RaiseTx through a hybrid fallback session.
+func (r *RemovalStamps) RaiseF(f *htm.Fallback, k, opEpoch uint64) {
+	p := r.slot(k)
+	if f.Load(p) < opEpoch {
+		f.Store(p, opEpoch)
+	}
+}

@@ -134,6 +134,12 @@ type Config struct {
 	// default, so injection is deterministic either way; fuzzers vary the
 	// seed per round to explore different abort interleavings.
 	Seed uint64
+	// GlobalFallback restores the pre-hybrid slow path: RunFallback and
+	// RunHybrid serialize through the structure's FallbackLock and
+	// fast-path transactions subscribe to its one word. The default
+	// (false) is the fine-grained hybrid path, where a fallback locks
+	// only the lines it touches.
+	GlobalFallback bool
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +171,16 @@ type TM struct {
 	// jitter from the injection stream would shift the deterministic
 	// abort schedule that seeded fuzz replays depend on.
 	backoffRNG atomic.Uint64
+
+	// held counts outstanding versioned-lock windows opened by commits
+	// and direct stores, incremented before the first slot CAS and
+	// decremented after release, so drainCommits is one counter read
+	// instead of a full table scan.
+	held atomic.Int64
+
+	// fbMu serializes fallback sessions that failed to make progress
+	// with bounded waiting (see RunFallback's escalation).
+	fbMu sync.Mutex
 
 	stats Stats
 	obs   *obs.Recorder
@@ -204,6 +220,10 @@ func New(cfg Config) *TM {
 
 // Default returns a TM with default configuration and no abort injection.
 func Default() *TM { return New(Config{}) }
+
+// Hybrid reports whether the TM uses the fine-grained hybrid slow path
+// (the default) rather than the global FallbackLock.
+func (tm *TM) Hybrid() bool { return !tm.cfg.GlobalFallback }
 
 // Stats returns a snapshot of commit/abort counters.
 func (tm *TM) Stats() StatsSnapshot { return tm.stats.snapshot() }
@@ -314,6 +334,7 @@ func (tx *Tx) loadCommon(p *uint64, h *nvm.Heap, a nvm.Addr) uint64 {
 	for spins := 0; ; spins++ {
 		v1 := slot.Load()
 		if v1&1 == 1 {
+			tx.tm.noteFallbackBlocked(v1)
 			tx.abort(CauseConflict, 0)
 		}
 		var val uint64
@@ -433,11 +454,14 @@ func (tx *Tx) commit() bool {
 	// order and each aborts the other forever: with a global order, one
 	// of any pair of contenders always wins.
 	lockedWord := tx.id<<1 | 1
+	tm.held.Add(1)
 	for n, idx := range tx.lockOrder {
 		slot := &tm.table[idx]
 		cur := slot.Load()
 		if cur&1 == 1 || !slot.CompareAndSwap(cur, lockedWord) {
+			tm.noteFallbackBlocked(slot.Load())
 			tx.releaseLocks(n, 0, false)
+			tm.held.Add(-1)
 			return false
 		}
 		tx.lockPrev = append(tx.lockPrev, cur)
@@ -458,11 +482,13 @@ func (tx *Tx) commit() bool {
 				return true
 			}
 		}
+		tm.noteFallbackBlocked(cur)
 		valid = false
 		return false
 	})
 	if !valid {
 		tx.releaseLocks(len(tx.lockOrder), 0, false)
+		tm.held.Add(-1)
 		return false
 	}
 	wv := tm.clock.Add(1)
@@ -476,7 +502,18 @@ func (tx *Tx) commit() bool {
 		}
 	}
 	tx.releaseLocks(len(tx.lockOrder), wv, true)
+	tm.held.Add(-1)
 	return true
+}
+
+// noteFallbackBlocked counts a fast-path abort whose blocking slot word
+// belongs to a fallback session (fbOwnerBit set), so the slow path's cost
+// to concurrent transactions is observable.
+func (tm *TM) noteFallbackBlocked(slotWord uint64) {
+	if slotWord&1 == 1 && slotWord&fbOwnerBit != 0 {
+		tm.stats.fallbackBlocked.Add(1)
+		tm.obs.MetricAdd(obs.MFallbackBlocked, slotWord, 1)
+	}
 }
 
 // releaseLocks releases the first n slots of lockOrder — the ones the

@@ -1,0 +1,402 @@
+package htm
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// disjointWords returns n word pointers, each on its own cache line and
+// each mapping to a distinct lock-table slot, so tests can reason about
+// exactly which lines conflict.
+func disjointWords(tb testing.TB, tm *TM, n int) []*uint64 {
+	tb.Helper()
+	buf := make([]uint64, 8*(4*n+8))
+	seen := make(map[uint64]bool)
+	var out []*uint64
+	for i := 0; i+8 <= len(buf) && len(out) < n; i += 8 {
+		p := &buf[i]
+		if idx := tm.slotIdx(lineKey(p)); !seen[idx] {
+			seen[idx] = true
+			out = append(out, p)
+		}
+	}
+	if len(out) < n {
+		tb.Fatalf("could not find %d slot-disjoint lines", n)
+	}
+	return out
+}
+
+// The headline property of the hybrid slow path: a small transaction on
+// lines the fallback never touched commits while the fallback is still
+// mid-operation, where the global lock would have aborted it.
+func TestDisjointLineProgressDuringFallback(t *testing.T) {
+	tm := Default()
+	lock := NewFallbackLock(tm)
+	ws := disjointWords(t, tm, 2)
+	a, b := ws[0], ws[1]
+	inSession := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tm.RunFallback(lock, func(f *Fallback) {
+			f.Store(a, f.Load(a)+1)
+			once.Do(func() { close(inSession) })
+			<-release
+		})
+	}()
+	<-inSession
+
+	// Progress assertion: disjoint line, slow path in flight.
+	if res := tm.Attempt(func(tx *Tx) { tx.Store(b, 7) }); !res.Committed {
+		t.Fatalf("disjoint-line transaction aborted during fallback: %+v", res)
+	}
+	// Conflict assertion: the held line aborts the fast path, and the
+	// abort is attributed to the fallback session.
+	blockedBefore := tm.Stats().FallbackBlocked
+	if res := tm.Attempt(func(tx *Tx) { tx.Store(a, 9) }); res.Committed {
+		t.Fatal("transaction on a fallback-held line committed")
+	}
+	if got := tm.Stats().FallbackBlocked; got <= blockedBefore {
+		t.Fatalf("FallbackBlocked = %d, want > %d", got, blockedBefore)
+	}
+	// The session's write is buffered until it finishes.
+	if atomic.LoadUint64(a) != 0 {
+		t.Fatal("fallback write visible before session finished")
+	}
+
+	close(release)
+	wg.Wait()
+	if *a != 1 || *b != 7 {
+		t.Fatalf("a,b = %d,%d, want 1,7", *a, *b)
+	}
+	s := tm.Stats()
+	if s.FallbackAcquires != 1 || s.FallbackLines == 0 {
+		t.Fatalf("session counters: %+v", s)
+	}
+}
+
+// Fallback reads lock their line too: a transaction cannot slip a write
+// between a fallback read and the session's finish (write skew). Once the
+// session ends, the slot reverts and the same transaction commits.
+func TestFallbackReadLocksLine(t *testing.T) {
+	tm := Default()
+	lock := NewFallbackLock(tm)
+	a := disjointWords(t, tm, 1)[0]
+	inSession := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tm.RunFallback(lock, func(f *Fallback) {
+			_ = f.Load(a) // read-only access still locks the line
+			once.Do(func() { close(inSession) })
+			<-release
+		})
+	}()
+	<-inSession
+	if res := tm.Attempt(func(tx *Tx) { tx.Store(a, 5) }); res.Committed {
+		t.Fatal("write to a read-locked line committed mid-session")
+	}
+	close(release)
+	wg.Wait()
+	if res := tm.Attempt(func(tx *Tx) { tx.Store(a, 5) }); !res.Committed {
+		t.Fatalf("write after session release aborted: %+v", res)
+	}
+	if *a != 5 {
+		t.Fatalf("a = %d, want 5", *a)
+	}
+}
+
+// A session blocked on a line held by another session restarts (releasing
+// everything, discarding buffered writes) rather than deadlocking, and
+// completes once the holder finishes.
+func TestFallbackRestartUnderContention(t *testing.T) {
+	tm := Default()
+	lock := NewFallbackLock(tm)
+	ws := disjointWords(t, tm, 2)
+	a, b := ws[0], ws[1]
+	inSession := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // holder: pins a's line, then waits
+		defer wg.Done()
+		tm.RunFallback(lock, func(f *Fallback) {
+			_ = f.Load(a)
+			once.Do(func() { close(inSession) })
+			<-release
+		})
+	}()
+	<-inSession
+	wg.Add(1)
+	go func() { // contender: buffers b, then needs a — must restart
+		defer wg.Done()
+		tm.RunFallback(lock, func(f *Fallback) {
+			f.Store(b, 1)
+			f.Store(a, f.Load(a)+1)
+		})
+	}()
+	for tm.Stats().FallbackRestarts == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Restarts discarded the contender's buffered write to b.
+	if atomic.LoadUint64(b) != 0 {
+		t.Fatal("buffered write leaked across a session restart")
+	}
+	close(release)
+	wg.Wait()
+	if *a != 1 || *b != 1 {
+		t.Fatalf("a,b = %d,%d, want 1,1", *a, *b)
+	}
+}
+
+// Property test for the lock-order discipline: concurrent sessions that
+// acquire overlapping line sets in adversarial (random, often opposite)
+// orders neither deadlock nor lose updates.
+func TestFallbackLockOrderNoDeadlock(t *testing.T) {
+	tm := Default()
+	lock := NewFallbackLock(tm)
+	ws := disjointWords(t, tm, 8)
+	const goroutines = 4
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(id)+1, 99))
+			for i := 0; i < iters; i++ {
+				idxs := rng.Perm(len(ws))[:4]
+				tm.RunFallback(lock, func(f *Fallback) {
+					for _, j := range idxs {
+						f.Store(ws[j], f.Load(ws[j])+1)
+					}
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, p := range ws {
+		total += *p
+	}
+	if total != goroutines*iters*4 {
+		t.Fatalf("total = %d, want %d (lost updates)", total, goroutines*iters*4)
+	}
+}
+
+// Serializability with both paths live on the same lines, in both fallback
+// modes: transactional and session increments must all survive.
+func TestMixedTxFallbackSerializable(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		global bool
+	}{{"hybrid", false}, {"global", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			tm := New(Config{GlobalFallback: mode.global})
+			lock := NewFallbackLock(tm)
+			ws := disjointWords(t, tm, 4)
+			const perG = 400
+			var wg sync.WaitGroup
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(uint64(id)+1, 3))
+					for i := 0; i < perG; i++ {
+						j := int(rng.Uint64N(uint64(len(ws))))
+						k := (j + 1 + int(rng.Uint64N(uint64(len(ws)-1)))) % len(ws)
+						for {
+							res := tm.Attempt(func(tx *Tx) {
+								if !tm.Hybrid() {
+									tx.Subscribe(lock)
+								}
+								tx.Store(ws[j], tx.Load(ws[j])+1)
+								tx.Store(ws[k], tx.Load(ws[k])+1)
+							})
+							if res.Committed {
+								break
+							}
+							if res.Cause == CauseLocked {
+								lock.WaitUnlocked()
+							}
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(uint64(id)+100, 5))
+					for i := 0; i < perG; i++ {
+						j := int(rng.Uint64N(uint64(len(ws))))
+						k := (j + 1 + int(rng.Uint64N(uint64(len(ws)-1)))) % len(ws)
+						tm.RunFallback(lock, func(f *Fallback) {
+							f.Store(ws[j], f.Load(ws[j])+1)
+							f.Store(ws[k], f.Load(ws[k])+1)
+						})
+					}
+				}(g)
+			}
+			wg.Wait()
+			var total uint64
+			for _, p := range ws {
+				total += *p
+			}
+			if total != 6*perG*2 {
+				t.Fatalf("total = %d, want %d", total, 6*perG*2)
+			}
+		})
+	}
+}
+
+// Global mode must be the classic path: the session runs under the
+// FallbackLock with immediate (direct) stores.
+func TestGlobalModeRunFallbackTakesLock(t *testing.T) {
+	tm := New(Config{GlobalFallback: true})
+	lock := NewFallbackLock(tm)
+	var x uint64
+	tm.RunFallback(lock, func(f *Fallback) {
+		if f.Hybrid() {
+			t.Error("global-mode session reports Hybrid")
+		}
+		if !lock.Locked() {
+			t.Error("global-mode session did not take the lock")
+		}
+		f.Store(&x, 3)
+		if atomic.LoadUint64(&x) != 3 {
+			t.Error("global-mode store is not immediate")
+		}
+	})
+	if lock.Locked() {
+		t.Fatal("lock still held after RunFallback")
+	}
+	if x != 3 {
+		t.Fatalf("x = %d, want 3", x)
+	}
+}
+
+func TestRunHybridPaths(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		global bool
+	}{{"hybrid", false}, {"global", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			tm := New(Config{GlobalFallback: mode.global})
+			lock := NewFallbackLock(tm)
+			var x uint64
+			ok := tm.RunHybrid(lock, 3,
+				func(tx *Tx) { tx.Store(&x, 1) },
+				func(f *Fallback) { f.Store(&x, 2) })
+			if !ok || x != 1 {
+				t.Fatalf("transactional path: ok=%v x=%d", ok, x)
+			}
+			ok = tm.RunHybrid(lock, 3,
+				func(tx *Tx) { tx.Abort(1) },
+				func(f *Fallback) { f.Store(&x, 2) })
+			if ok || x != 2 {
+				t.Fatalf("fallback path: ok=%v x=%d", ok, x)
+			}
+		})
+	}
+}
+
+// Regression for the drain rewrite: every lock window (commits, direct
+// stores, fallback finishes) must balance tm.held back to zero, or a later
+// drainCommits spins forever.
+func TestHeldCounterBalanced(t *testing.T) {
+	tm := Default()
+	lock := NewFallbackLock(tm)
+	ws := disjointWords(t, tm, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(id)+1, 11))
+			for i := 0; i < 200; i++ {
+				p := ws[rng.Uint64N(uint64(len(ws)))]
+				switch rng.Uint64N(4) {
+				case 0:
+					tm.Attempt(func(tx *Tx) { tx.Store(p, tx.Load(p)+1) })
+				case 1:
+					tm.Attempt(func(tx *Tx) { tx.Abort(1) })
+				case 2:
+					tm.DirectStore(p, 1)
+				default:
+					tm.RunFallback(lock, func(f *Fallback) { f.Store(p, f.Load(p)+1) })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tm.held.Load(); got != 0 {
+		t.Fatalf("held = %d after quiescence, want 0", got)
+	}
+}
+
+// drainCommits must block while a lock window is open and return once it
+// closes.
+func TestDrainCommitsWaitsForWindow(t *testing.T) {
+	tm := Default()
+	var x uint64
+	slot := tm.lockSlotDirect(&x)
+	done := make(chan struct{})
+	go func() { tm.drainCommits(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("drainCommits returned with a lock window open")
+	case <-time.After(50 * time.Millisecond):
+	}
+	tm.unlockSlotDirect(slot)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drainCommits never returned after the window closed")
+	}
+}
+
+// Regression: drainCommits used to scan all 1<<TableBits slots per call.
+// With a large table and an idle TM, a burst of drains must still be
+// effectively free (one counter read each); the old scan would take
+// minutes here.
+func TestDrainCommitsIsCounterRead(t *testing.T) {
+	tm := New(Config{TableBits: 22})
+	start := time.Now()
+	for i := 0; i < 50000; i++ {
+		tm.drainCommits()
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("50k idle drains took %v; drain is scanning the table again", el)
+	}
+}
+
+// WaitUnlocked's bounded backoff must still observe the release promptly.
+func TestWaitUnlockedBackoffReturns(t *testing.T) {
+	tm := Default()
+	lock := NewFallbackLock(tm)
+	lock.Acquire()
+	done := make(chan struct{})
+	go func() { lock.WaitUnlocked(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("WaitUnlocked returned while the lock was held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	lock.Release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitUnlocked missed the release")
+	}
+}

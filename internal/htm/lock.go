@@ -16,6 +16,13 @@ import (
 // DirectStoreAddr so that concurrent transactions' validation observes
 // them, mirroring the way real HTM detects the fallback's coherence
 // traffic.
+//
+// Since the fine-grained hybrid slow path (RunFallback / Fallback)
+// landed, this type is the compatibility shim for Config.GlobalFallback
+// mode: the degenerate one-line lock set every fallback shares. Hybrid
+// TMs keep a FallbackLock around only to hand to RunFallback, which
+// ignores it; subscription and Acquire/Release semantics are unchanged
+// for code still on the global path.
 type FallbackLock struct {
 	tm   *TM
 	word uint64
@@ -62,11 +69,26 @@ func (l *FallbackLock) TryAcquire() bool {
 // finished its write-back. Transactions that validate afterwards abort on
 // the subscribed lock word, so once the table is clean the fallback holder
 // has exclusive access.
+//
+// The wait is one counter spin — tm.held tracks outstanding lock windows,
+// incremented before the first slot CAS of a commit or direct store —
+// where it used to scan all 1<<TableBits slots on every acquisition.
 func (tm *TM) drainCommits() {
-	for i := range tm.table {
-		for tm.table[i].Load()&1 == 1 {
-			runtime.Gosched()
-		}
+	for spin := 0; tm.held.Load() != 0; spin++ {
+		yieldBackoff(spin)
+	}
+}
+
+// yieldBackoff yields for an exponentially growing, bounded window —
+// 1<<min(spin, 6) Gosched calls — so long spins escalate from polite to
+// patient without unbounded delay once the awaited condition clears.
+func yieldBackoff(spin int) {
+	shift := spin
+	if shift > 6 {
+		shift = 6
+	}
+	for i := 0; i < 1<<shift; i++ {
+		runtime.Gosched()
 	}
 }
 
@@ -79,64 +101,66 @@ func (l *FallbackLock) Release() {
 // Locked reports whether the lock is currently held.
 func (l *FallbackLock) Locked() bool { return atomic.LoadUint64(&l.word) != 0 }
 
-// WaitUnlocked spins (politely) until the lock is free.
+// WaitUnlocked spins until the lock is free, with bounded exponential
+// backoff: a bare Gosched loop burns a core re-checking a lock that stays
+// held for a whole fallback operation, while the backoff caps at 64
+// yields per probe so wakeup latency stays bounded.
 func (l *FallbackLock) WaitUnlocked() {
-	for atomic.LoadUint64(&l.word) != 0 {
+	for spin := 0; atomic.LoadUint64(&l.word) != 0; spin++ {
+		yieldBackoff(spin)
+	}
+}
+
+// lockSlotDirect opens a one-slot lock window over p's line: the slot is
+// locked with a fresh transaction id so concurrent commits see it busy,
+// and tm.held is raised so drainCommits accounts for the window. The
+// caller stores and then closes the window with unlockSlotDirect.
+func (tm *TM) lockSlotDirect(p *uint64) *atomic.Uint64 {
+	slot := &tm.table[tm.slotIdx(lineKey(p))]
+	owner := tm.txIDs.Add(1)<<1 | 1
+	for {
+		cur := slot.Load()
+		if cur&1 == 0 {
+			// Raise held before the CAS so an open window is never
+			// invisible to drainCommits, but not while merely spinning —
+			// a spin on a fallback-held slot must not stall a session
+			// that is itself draining commits.
+			tm.held.Add(1)
+			if slot.CompareAndSwap(cur, owner) {
+				return slot
+			}
+			tm.held.Add(-1)
+		}
 		runtime.Gosched()
 	}
 }
 
-// bumpVersion advances the versioned-lock slot covering p, making any
-// transactional read of p's line fail validation. The slot is briefly
-// locked with a fresh transaction id so concurrent commits see it busy.
-func (tm *TM) bumpVersion(p *uint64) {
-	idx := tm.slotIdx(lineKey(p))
-	slot := &tm.table[idx]
-	owner := tm.txIDs.Add(1)<<1 | 1
-	for {
-		cur := slot.Load()
-		if cur&1 == 0 && slot.CompareAndSwap(cur, owner) {
-			break
-		}
-		runtime.Gosched()
-	}
+func (tm *TM) unlockSlotDirect(slot *atomic.Uint64) {
 	slot.Store(tm.clock.Add(1) << 1)
+	tm.held.Add(-1)
+}
+
+// bumpVersion advances the versioned-lock slot covering p, making any
+// transactional read of p's line fail validation.
+func (tm *TM) bumpVersion(p *uint64) {
+	tm.unlockSlotDirect(tm.lockSlotDirect(p))
 }
 
 // DirectStore performs a non-transactional store to a DRAM word that is
 // visible to the conflict-detection mechanism. It must only be used while
 // holding the fallback lock (or during single-threaded recovery).
 func (tm *TM) DirectStore(p *uint64, v uint64) {
-	idx := tm.slotIdx(lineKey(p))
-	slot := &tm.table[idx]
-	owner := tm.txIDs.Add(1)<<1 | 1
-	for {
-		cur := slot.Load()
-		if cur&1 == 0 && slot.CompareAndSwap(cur, owner) {
-			break
-		}
-		runtime.Gosched()
-	}
+	slot := tm.lockSlotDirect(p)
 	atomic.StoreUint64(p, v)
-	slot.Store(tm.clock.Add(1) << 1)
+	tm.unlockSlotDirect(slot)
 }
 
 // DirectStoreAddr is DirectStore for simulated NVM words; the store goes
 // through the heap so dirty-line tracking stays correct.
 func (tm *TM) DirectStoreAddr(h *nvm.Heap, a nvm.Addr, v uint64) {
-	p := h.WordPtr(a)
-	idx := tm.slotIdx(lineKey(p))
-	slot := &tm.table[idx]
-	owner := tm.txIDs.Add(1)<<1 | 1
-	for {
-		cur := slot.Load()
-		if cur&1 == 0 && slot.CompareAndSwap(cur, owner) {
-			break
-		}
-		runtime.Gosched()
-	}
+	slot := tm.lockSlotDirect(h.WordPtr(a))
 	h.Store(a, v)
-	slot.Store(tm.clock.Add(1) << 1)
+	tm.unlockSlotDirect(slot)
 }
 
 // DirectLoad performs a non-transactional load. Plain atomic semantics are

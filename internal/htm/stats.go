@@ -2,9 +2,15 @@ package htm
 
 import "sync/atomic"
 
-// Stats counts attempt outcomes per cause.
+// Stats counts attempt outcomes per cause, plus the hybrid slow path's
+// session counters.
 type Stats struct {
 	counts [numCauses]atomic.Int64
+
+	fallbackAcquires atomic.Int64 // fine-grained fallback sessions started
+	fallbackLines    atomic.Int64 // lock-table slots acquired by sessions
+	fallbackBlocked  atomic.Int64 // tx aborts caused by a fallback-held slot
+	fallbackRestarts atomic.Int64 // whole-session restarts (lock contention)
 }
 
 func (s *Stats) record(c AbortCause) { s.counts[c].Add(1) }
@@ -20,6 +26,17 @@ type StatsSnapshot struct {
 	Spurious  int64
 	MemType   int64
 	PersistOp int64
+
+	// Hybrid slow-path counters. FallbackAcquires counts fine-grained
+	// sessions (the global path counts under the structures' own
+	// bookkeeping, not here); FallbackLines is the total lock-table slots
+	// those sessions acquired; FallbackBlocked counts fast-path aborts
+	// whose blocking slot was fallback-held; FallbackRestarts counts
+	// whole-session restarts forced by lock-order discipline.
+	FallbackAcquires int64
+	FallbackLines    int64
+	FallbackBlocked  int64
+	FallbackRestarts int64
 }
 
 // Attempts is the total number of transaction attempts.
@@ -83,6 +100,11 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		Spurious:  s.Spurious - prev.Spurious,
 		MemType:   s.MemType - prev.MemType,
 		PersistOp: s.PersistOp - prev.PersistOp,
+
+		FallbackAcquires: s.FallbackAcquires - prev.FallbackAcquires,
+		FallbackLines:    s.FallbackLines - prev.FallbackLines,
+		FallbackBlocked:  s.FallbackBlocked - prev.FallbackBlocked,
+		FallbackRestarts: s.FallbackRestarts - prev.FallbackRestarts,
 	}
 }
 
@@ -96,5 +118,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Spurious:  s.counts[CauseSpurious].Load(),
 		MemType:   s.counts[CauseMemType].Load(),
 		PersistOp: s.counts[CausePersistOp].Load(),
+
+		FallbackAcquires: s.fallbackAcquires.Load(),
+		FallbackLines:    s.fallbackLines.Load(),
+		FallbackBlocked:  s.fallbackBlocked.Load(),
+		FallbackRestarts: s.fallbackRestarts.Load(),
 	}
 }

@@ -199,6 +199,15 @@ const (
 	MRecoveredBlocks   // live blocks recovered by the header judgment
 	MResurrectedBlocks // deleted-but-unpersisted blocks rolled back to live
 
+	// Hybrid-fallback counters (appended; enum order is part of the trace
+	// format). The HTM unit bumps these on the fine-grained slow path, so
+	// fallback pressure (how many slow-path sessions ran, how many lines
+	// they locked, how many fast-path aborts they caused) is visible from
+	// telemetry alone.
+	MFallbackAcquires // fine-grained fallback sessions started
+	MFallbackLines    // versioned-lock slots acquired by fallback sessions
+	MFallbackBlocked  // transaction aborts caused by a fallback-held line
+
 	NumMetrics
 )
 
@@ -246,6 +255,12 @@ func (m Metric) String() string {
 		return "recovered-blocks"
 	case MResurrectedBlocks:
 		return "resurrected-blocks"
+	case MFallbackAcquires:
+		return "fallback-acquires"
+	case MFallbackLines:
+		return "fallback-lines"
+	case MFallbackBlocked:
+		return "fallback-blocked"
 	default:
 		return fmt.Sprintf("Metric(%d)", uint8(m))
 	}

@@ -128,6 +128,11 @@ type HTMSummary struct {
 	Commits    int64            `json:"commits"`
 	CommitRate float64          `json:"commit_rate"`
 	Aborts     map[string]int64 `json:"aborts"`
+	// Fallback is the slow-path ledger (omitted by rows produced before
+	// the fine-grained hybrid path existed): "acquires" fine-grained
+	// sessions, the table "lines" they locked, fast-path aborts "blocked"
+	// on a fallback-held slot, and bounded-wait session "restarts".
+	Fallback map[string]int64 `json:"fallback,omitempty"`
 }
 
 // NVMSummary is the persist-cost accounting of the paper's Sec. 5.1.
@@ -270,6 +275,12 @@ func ValidateReport(data []byte) error {
 		if row.Ops < 0 || row.ElapsedNS <= 0 || row.Mops < 0 {
 			return fmt.Errorf("%s: bad ops/elapsed/mops (%d, %d, %f)", where, row.Ops, row.ElapsedNS, row.Mops)
 		}
+		// The fallback experiment's whole point is the small-transaction
+		// latency distribution and the slow-path ledger; a row without
+		// either section is a generation bug, not a valid report.
+		if row.Experiment == "fallback" && (row.Latency == nil || row.HTM == nil) {
+			return fmt.Errorf("%s: fallback rows require latency and htm sections", where)
+		}
 		if l := row.Latency; l != nil {
 			if l.Count < 0 || l.P50 < 0 {
 				return fmt.Errorf("%s: negative latency fields", where)
@@ -292,6 +303,15 @@ func ValidateReport(data []byte) error {
 			}
 			if h.CommitRate < 0 || h.CommitRate > 1 {
 				return fmt.Errorf("%s: commit rate %f outside [0,1]", where, h.CommitRate)
+			}
+			for name, n := range h.Fallback {
+				if n < 0 {
+					return fmt.Errorf("%s: negative fallback counter %q", where, name)
+				}
+			}
+			if h.Fallback != nil && h.Fallback["lines"] < h.Fallback["acquires"] {
+				return fmt.Errorf("%s: fallback lines %d < acquires %d (every session locks at least one line)",
+					where, h.Fallback["lines"], h.Fallback["acquires"])
 			}
 		}
 		if n := row.NVM; n != nil {

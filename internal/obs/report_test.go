@@ -36,6 +36,9 @@ func fixedReport() *Report {
 				"conflict": 600, "capacity": 100, "explicit": 0, "locked": 200,
 				"spurious": 0, "memtype": 100, "persist-op": 0,
 			},
+			Fallback: map[string]int64{
+				"acquires": 150, "lines": 1200, "blocked": 80, "restarts": 2,
+			},
 		},
 		NVM: &NVMSummary{
 			Flushes: 5000, Fences: 300, LineWritebacks: 4800,
@@ -149,6 +152,12 @@ func TestValidateReportRejects(t *testing.T) {
 		{"percentile inversion", func(r *Report) { r.Results[0].Latency.P90 = r.Results[0].Latency.P99 + 1 }, "not monotonic"},
 		{"attempts mismatch", func(r *Report) { r.Results[0].HTM.Attempts++ }, "attempts"},
 		{"commit rate range", func(r *Report) { r.Results[0].HTM.CommitRate = 1.5 }, "commit rate"},
+		{"negative fallback counter", func(r *Report) { r.Results[0].HTM.Fallback["restarts"] = -1 }, "fallback counter"},
+		{"fallback lines < acquires", func(r *Report) { r.Results[0].HTM.Fallback["lines"] = 10 }, "fallback lines"},
+		{"fallback row missing latency", func(r *Report) {
+			r.Results[1].Experiment = "fallback"
+			r.Results[1].Latency = nil
+		}, "fallback rows require"},
 		{"useful > media", func(r *Report) { r.Results[0].NVM.UsefulBytes = r.Results[0].NVM.MediaBytes + 1 }, "useful bytes"},
 		{"amplification < 1", func(r *Report) { r.Results[0].NVM.WriteAmplification = 0.5 }, "write amplification"},
 		{"freed > retired", func(r *Report) { r.Results[0].Epoch.FreedBlocks = r.Results[0].Epoch.RetiredBlocks + 1 }, "freed blocks"},

@@ -13,7 +13,7 @@ import (
 // commits. Towers live in the DRAM index heap and are rebuilt on recovery.
 
 // insertBDL adds or updates k with buffered durability.
-func (h *Handle) insertBDL(k, v uint64) bool {
+func (h *Handle) insertBDL(g *guard, k, v uint64) bool {
 	l := h.l
 retryRegist:
 	opEpoch := h.w.BeginOp()
@@ -24,14 +24,14 @@ retryRegist:
 	newBlk.InitKV(k, v)
 
 	for {
-		preds, succs, found := l.find(k)
+		preds, succs, found := l.find(g, k)
 
 		if found != 0 {
 			// Update path: epoch-check the existing block inside the
 			// transaction (Listing 1 lines 20-29).
 			var retire, persist epoch.Block
 			var usedPrealloc bool
-			res := l.htmApply(h.w, nil,
+			res := l.htmApply(h.w, g, nil,
 				func(tx *htm.Tx) {
 					// A failed attempt may have run this closure to
 					// completion (conflicts surface at commit); reset the
@@ -42,7 +42,11 @@ retryRegist:
 						tx.Abort(retryCode) // node was removed; re-find
 					}
 					newBlk.SetEpochTx(tx, opEpoch)
-					blk := l.cfg.DataSys.BlockAt(nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found))))
+					ba := nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found)))
+					if g.teleporting() && !l.blockOK(ba) {
+						tx.Abort(recaptureCode) // recycled tower
+					}
+					blk := l.cfg.DataSys.BlockAt(ba)
 					be := blk.EpochTx(tx)
 					switch {
 					case be > opEpoch:
@@ -54,22 +58,24 @@ retryRegist:
 						blk.SetValueTx(tx, v)
 					}
 				},
-				func() applyResult {
+				func(f *htm.Fallback) applyResult {
+					// The session body may restart on lock contention:
+					// outputs are reset here, writes are buffered.
 					retire, persist, usedPrealloc = epoch.Block{}, epoch.Block{}, false
-					if l.h.Load(l.nextAddr(found, 0))&delMark != 0 {
+					if f.LoadAddr(l.h, l.nextAddr(found, 0))&delMark != 0 {
 						return applyRetry
 					}
-					blk := l.cfg.DataSys.BlockAt(nvm.Addr(l.h.Load(l.valueAddr(found))))
-					be := blk.Epoch()
+					blk := l.cfg.DataSys.BlockAt(nvm.Addr(f.LoadAddr(l.h, l.valueAddr(found))))
+					be := blk.EpochF(f)
 					switch {
 					case be > opEpoch:
 						return applyOldSeeNew
 					case be < opEpoch:
-						l.setBlockEpochDirect(newBlk, opEpoch)
-						l.cfg.TM.DirectStoreAddr(l.h, l.valueAddr(found), uint64(newBlk.Addr()))
+						newBlk.SetEpochF(f, opEpoch)
+						f.StoreAddr(l.h, l.valueAddr(found), uint64(newBlk.Addr()))
 						retire, persist, usedPrealloc = blk, newBlk, true
 					default:
-						l.cfg.TM.DirectStoreAddr(l.cfg.DataSys.Heap(), blk.Payload(1), v)
+						blk.SetValueF(f, v)
 					}
 					return applyOK
 				},
@@ -93,18 +99,18 @@ retryRegist:
 		for i := 0; i < lvl; i++ {
 			entries[i] = mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: succs[i], New: uint64(node)}
 		}
-		res := l.htmApply(h.w, entries,
+		res := l.htmApply(h.w, g, entries,
 			func(tx *htm.Tx) {
 				// The absence this insert acts on may have been created by a
 				// removal from a newer epoch (no block left to epoch-check).
 				l.removals.CheckTx(tx, k, opEpoch)
 				newBlk.SetEpochTx(tx, opEpoch)
 			},
-			func() applyResult {
-				if !l.removals.Ok(l.cfg.TM, k, opEpoch) {
+			func(f *htm.Fallback) applyResult {
+				if !l.removals.OkF(f, k, opEpoch) {
 					return applyOldSeeNew
 				}
-				l.setBlockEpochDirect(newBlk, opEpoch)
+				newBlk.SetEpochF(f, opEpoch)
 				return applyOK
 			},
 		)
@@ -122,12 +128,12 @@ retryRegist:
 }
 
 // removeBDL deletes k with buffered durability.
-func (h *Handle) removeBDL(k uint64) bool {
+func (h *Handle) removeBDL(g *guard, k uint64) bool {
 	l := h.l
 retryRegist:
 	opEpoch := h.w.BeginOp()
 	for {
-		preds, _, found := l.find(k)
+		preds, _, found := l.find(g, k)
 		if found == 0 {
 			if !l.removals.Ok(l.cfg.TM, k, opEpoch) {
 				h.w.AbortOp()
@@ -136,7 +142,7 @@ retryRegist:
 			h.w.EndOp()
 			return false
 		}
-		lvl := l.level(found)
+		lvl := l.levelClamped(found)
 		entries := make([]mwcas.Entry, 0, 2*lvl)
 		raceLost := false
 		for i := 0; i < lvl; i++ {
@@ -150,7 +156,7 @@ retryRegist:
 				mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: uint64(found), New: nxt})
 		}
 		if raceLost {
-			if _, _, f := l.find(k); f == 0 {
+			if _, _, f := l.find(g, k); f == 0 {
 				if !l.removals.Ok(l.cfg.TM, k, opEpoch) {
 					h.w.AbortOp()
 					goto retryRegist
@@ -161,21 +167,25 @@ retryRegist:
 			continue
 		}
 		var retire epoch.Block
-		res := l.htmApply(h.w, entries,
+		res := l.htmApply(h.w, g, entries,
 			func(tx *htm.Tx) {
-				blk := l.cfg.DataSys.BlockAt(nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found))))
+				ba := nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found)))
+				if g.teleporting() && !l.blockOK(ba) {
+					tx.Abort(recaptureCode) // recycled tower
+				}
+				blk := l.cfg.DataSys.BlockAt(ba)
 				if blk.EpochTx(tx) > opEpoch {
 					tx.Abort(epoch.OldSeeNewCode)
 				}
 				l.removals.RaiseTx(tx, k, opEpoch)
 				retire = blk
 			},
-			func() applyResult {
-				blk := l.cfg.DataSys.BlockAt(nvm.Addr(l.h.Load(l.valueAddr(found))))
-				if blk.Epoch() > opEpoch {
+			func(f *htm.Fallback) applyResult {
+				blk := l.cfg.DataSys.BlockAt(nvm.Addr(f.LoadAddr(l.h, l.valueAddr(found))))
+				if blk.EpochF(f) > opEpoch {
 					return applyOldSeeNew
 				}
-				l.removals.Raise(l.cfg.TM, k, opEpoch)
+				l.removals.RaiseF(f, k, opEpoch)
 				retire = blk
 				return applyOK
 			},
@@ -212,13 +222,4 @@ func (h *Handle) finishOp(newBlk epoch.Block, usedPrealloc bool, retire, persist
 		h.w.PTrack(persist)
 	}
 	h.w.EndOp()
-}
-
-// setBlockEpochDirect stamps a not-yet-visible block's epoch from the
-// fallback path.
-func (l *List) setBlockEpochDirect(b epoch.Block, e uint64) {
-	dh := l.cfg.DataSys.Heap()
-	hdr := dh.Load(b.Addr())
-	hdr = hdr&^((uint64(1)<<48)-1) | e
-	l.cfg.TM.DirectStoreAddr(dh, b.Addr(), hdr)
 }

@@ -36,7 +36,7 @@ func (h *Handle) Successor(k uint64) (uint64, uint64, bool) {
 	l := h.l
 	l.reap.enter(h.tid)
 	defer l.reap.exit(h.tid)
-	_, succs, found := l.find(k + 1)
+	_, succs, found := l.find(&guard{}, k+1)
 	_ = found
 	s := succs[0]
 	if s == 0 {
@@ -60,7 +60,7 @@ func (l *List) RebuildBlock(rec epoch.BlockRecord) {
 		panic("skiplist: RebuildBlock is for BDL lists")
 	}
 	k := rec.Block.Key()
-	preds, succs, found := l.find(k)
+	preds, succs, found := l.find(&guard{}, k)
 	if found != 0 {
 		panic("skiplist: duplicate key during BDL rebuild (BDL invariant violated)")
 	}

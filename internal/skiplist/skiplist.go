@@ -81,6 +81,7 @@ const (
 
 	defaultMaxLevel = 20
 	retryCode       = 0xD7 // explicit-abort code: validation failed, re-find
+	recaptureCode   = 0xD8 // explicit-abort code: era-seqlock moved, capture + re-find
 )
 
 // Config describes a skiplist instance.
@@ -122,6 +123,12 @@ type List struct {
 	count atomic.Int64
 	tids  atomic.Int32
 
+	// hybrid: the TM uses the fine-grained slow path, so transactions do
+	// not subscribe to the global lock. teleport additionally elides the
+	// EBR announcement stores on HTM variants (see ebr / guard).
+	hybrid   bool
+	teleport bool
+
 	// removals guards BDL absence-dependent paths against acting on an
 	// absence created by a newer-epoch removal (see epoch.RemovalStamps).
 	removals epoch.RemovalStamps
@@ -150,11 +157,19 @@ func New(cfg Config) *List {
 			panic("skiplist: HTM variant requires a TM")
 		}
 		l.lock = htm.NewFallbackLock(cfg.TM)
+		l.hybrid = cfg.TM.Hybrid()
 	}
 	if cfg.Variant == BDL && cfg.DataSys == nil {
 		panic("skiplist: BDL requires an epoch system")
 	}
 	l.reap = newEBR(l.al, cfg.Threads)
+	if l.hybrid {
+		// Teleportation rides on transactional validation of the
+		// era-seqlock, so it is only sound for the HTM variants.
+		l.teleport = true
+		l.reap.tm = cfg.TM
+		l.reap.tele = true
+	}
 	l.head = l.allocTagged(headTag, 0, 0, cfg.MaxLevel, make([]uint64, cfg.MaxLevel))
 	return l
 }
@@ -261,18 +276,71 @@ func (h *Handle) randLevel() int {
 	return lvl
 }
 
+// nodeOK bounds-checks a tower address read during an unannounced
+// (teleporting) traversal: the walk can observe freed-and-recycled
+// memory, so a raw word is not trusted to address a node until its whole
+// extent — header through a MaxLevel tower — fits the index heap.
+func (l *List) nodeOK(a nvm.Addr) bool {
+	return a != 0 && int(a)+palloc.HeaderWords+offNext+l.cfg.MaxLevel <= l.h.Words()
+}
+
+// levelClamped reads a node's level, clamped to [1, MaxLevel]: an
+// unannounced traversal can hand us a recycled block whose level word is
+// garbage. A wrong-but-bounded level only mis-shapes the entry list,
+// which transactional validation then rejects.
+func (l *List) levelClamped(n nvm.Addr) int {
+	lvl := l.level(n)
+	if lvl < 1 || lvl > l.cfg.MaxLevel {
+		return 1
+	}
+	return lvl
+}
+
+// blockOK bounds-checks a data-heap block address read from a tower's
+// value word during an unannounced operation (BDL; the word may be
+// recycled garbage).
+func (l *List) blockOK(a nvm.Addr) bool {
+	return a != 0 && int(a)+palloc.HeaderWords+epoch.KVPayloadWords <= l.cfg.DataSys.Heap().Words()
+}
+
 // find locates the key's position: preds[i] is the rightmost node whose
 // key < k at level i, succs[i] the (unmarked) value of preds[i].next[i].
-// It returns the node with key k, if linked.
-func (l *List) find(k uint64) (preds []nvm.Addr, succs []uint64, found nvm.Addr) {
+// It returns the node with key k, if linked. A teleporting traversal that
+// overruns its step bound or reads a malformed pointer captures (full
+// hazard announcement) and re-walks.
+func (l *List) find(g *guard, k uint64) (preds []nvm.Addr, succs []uint64, found nvm.Addr) {
+	for {
+		preds, succs, found, ok := l.tryFind(g, k)
+		if ok {
+			return preds, succs, found
+		}
+		g.capture()
+	}
+}
+
+func (l *List) tryFind(g *guard, k uint64) (preds []nvm.Addr, succs []uint64, found nvm.Addr, ok bool) {
 	ml := l.cfg.MaxLevel
 	preds = make([]nvm.Addr, ml)
 	succs = make([]uint64, ml)
+	steps, bound := 0, 0
+	if g.teleporting() {
+		// Recycled pointers could form a cycle; bound the walk well above
+		// any honest traversal's length.
+		bound = 1024 + 4*int(l.count.Load())
+	}
 	x := l.head
 	for i := ml - 1; i >= 0; i-- {
 		for {
+			if bound != 0 {
+				if steps++; steps > bound {
+					return nil, nil, 0, false
+				}
+			}
 			raw := l.read(l.nextAddr(x, i))
 			nxt := raw &^ delMark
+			if nxt != 0 && bound != 0 && !l.nodeOK(nvm.Addr(nxt)) {
+				return nil, nil, 0, false
+			}
 			if nxt == 0 || l.key(nvm.Addr(nxt)) >= k {
 				preds[i] = x
 				succs[i] = nxt
@@ -284,7 +352,7 @@ func (l *List) find(k uint64) (preds []nvm.Addr, succs []uint64, found nvm.Addr)
 	if s := succs[0]; s != 0 && l.key(nvm.Addr(s)) == k {
 		found = nvm.Addr(s)
 	}
-	return preds, succs, found
+	return preds, succs, found, true
 }
 
 // SetSpan attaches a sampled request span to the handle's epoch worker
@@ -302,12 +370,16 @@ func (h *Handle) Get(k uint64) (uint64, bool) {
 	if l.obs != nil {
 		defer l.obs.EndOp(obs.OpLookup, k, l.obs.Now())
 	}
+	if l.cfg.Variant == BDL {
+		g := h.enterOp()
+		defer g.exitOp()
+		return h.getBDL(&g, k)
+	}
+	// Non-BDL reads never enter a transaction, so there is no seqlock to
+	// validate against: they always announce, even on the hybrid path.
 	l.reap.enter(h.tid)
 	defer l.reap.exit(h.tid)
-	if l.cfg.Variant == BDL {
-		return h.getBDL(k)
-	}
-	_, _, found := l.find(k)
+	_, _, found := l.find(&guard{}, k)
 	if found == 0 {
 		return 0, false
 	}
@@ -322,30 +394,66 @@ func (h *Handle) Get(k uint64) (uint64, bool) {
 // getBDL dereferences the node's NVM block inside a small transaction so
 // that a racing remove (which marks next[0] in the same transaction that
 // retires the block) cannot expose a reclaimed block's contents.
-func (h *Handle) getBDL(k uint64) (uint64, bool) {
+func (h *Handle) getBDL(g *guard, k uint64) (uint64, bool) {
 	l := h.l
+	const maxRetries = 64
+	retries := 0
 	for {
-		_, _, found := l.find(k)
+		if l.hybrid && retries >= maxRetries {
+			// Persistently aborting read: escape into a read-only session
+			// under per-line locks. Announce first — session reads are not
+			// seqlock-validated.
+			g.capture()
+			_, _, found := l.find(g, k)
+			if found == 0 {
+				return 0, false
+			}
+			var v uint64
+			var ok bool
+			l.cfg.TM.RunFallback(l.lock, func(f *htm.Fallback) {
+				v, ok = 0, false
+				if f.LoadAddr(l.h, l.nextAddr(found, 0))&delMark != 0 {
+					return
+				}
+				blk := l.cfg.DataSys.BlockAt(nvm.Addr(f.LoadAddr(l.h, l.valueAddr(found))))
+				v = blk.ValueF(f)
+				ok = true
+			})
+			return v, ok
+		}
+		_, _, found := l.find(g, k)
 		if found == 0 {
 			return 0, false
 		}
 		var v uint64
 		var ok bool
 		res := h.w.Attempt(l.cfg.TM, func(tx *htm.Tx) {
-			tx.Subscribe(l.lock)
+			if !l.hybrid {
+				tx.Subscribe(l.lock)
+			}
+			g.validate(tx)
 			if tx.LoadAddr(l.h, l.nextAddr(found, 0))&delMark != 0 {
 				ok = false
 				return
 			}
-			blk := l.cfg.DataSys.BlockAt(nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found))))
+			ba := nvm.Addr(tx.LoadAddr(l.h, l.valueAddr(found)))
+			if g.teleporting() && !l.blockOK(ba) {
+				tx.Abort(recaptureCode) // recycled tower: value word is garbage
+			}
+			blk := l.cfg.DataSys.BlockAt(ba)
 			v = blk.ValueTx(tx)
 			ok = true
 		})
 		if res.Committed {
 			return v, ok
 		}
-		if res.Cause == htm.CauseLocked {
+		switch {
+		case res.Cause == htm.CauseExplicit && res.Code == recaptureCode:
+			g.capture()
+		case res.Cause == htm.CauseLocked:
 			l.lock.WaitUnlocked()
+		default:
+			retries++
 		}
 	}
 }
@@ -363,16 +471,16 @@ func (h *Handle) Insert(k, v uint64) bool {
 	if l.obs != nil {
 		defer l.obs.EndOp(obs.OpInsert, k, l.obs.Now())
 	}
-	l.reap.enter(h.tid)
-	defer l.reap.exit(h.tid)
+	g := h.enterOp()
+	defer g.exitOp()
 	if l.cfg.Variant == BDL {
-		return h.insertBDL(k, v)
+		return h.insertBDL(&g, k, v)
 	}
 	for {
-		preds, succs, found := l.find(k)
+		preds, succs, found := l.find(&g, k)
 		if found != 0 {
 			old := l.read(l.valueAddr(found))
-			if h.apply([]mwcas.Entry{{Addr: l.valueAddr(found), Old: old, New: v}}) {
+			if h.apply(&g, []mwcas.Entry{{Addr: l.valueAddr(found), Old: old, New: v}}) {
 				return true
 			}
 			continue
@@ -383,7 +491,7 @@ func (h *Handle) Insert(k, v uint64) bool {
 		for i := 0; i < lvl; i++ {
 			entries[i] = mwcas.Entry{Addr: l.nextAddr(preds[i], i), Old: succs[i], New: uint64(node)}
 		}
-		if h.apply(entries) {
+		if h.apply(&g, entries) {
 			l.count.Add(1)
 			return false
 		}
@@ -400,17 +508,17 @@ func (h *Handle) Remove(k uint64) bool {
 	if l.obs != nil {
 		defer l.obs.EndOp(obs.OpRemove, k, l.obs.Now())
 	}
-	l.reap.enter(h.tid)
-	defer l.reap.exit(h.tid)
+	g := h.enterOp()
+	defer g.exitOp()
 	if l.cfg.Variant == BDL {
-		return h.removeBDL(k)
+		return h.removeBDL(&g, k)
 	}
 	for {
-		preds, _, found := l.find(k)
+		preds, _, found := l.find(&g, k)
 		if found == 0 {
 			return false
 		}
-		lvl := l.level(found)
+		lvl := l.levelClamped(found)
 		entries := make([]mwcas.Entry, 0, 2*lvl)
 		retryFind := false
 		for i := 0; i < lvl; i++ {
@@ -426,12 +534,12 @@ func (h *Handle) Remove(k uint64) bool {
 		if retryFind {
 			// Help the competing remove finish by re-finding; if the key
 			// is gone we lost the race.
-			if _, _, f := l.find(k); f == 0 {
+			if _, _, f := l.find(&g, k); f == 0 {
 				return false
 			}
 			continue
 		}
-		if h.apply(entries) {
+		if h.apply(&g, entries) {
 			l.reap.retire(h.tid, found)
 			l.count.Add(-1)
 			return true
@@ -441,11 +549,11 @@ func (h *Handle) Remove(k uint64) bool {
 
 // apply performs one atomic multi-word update using the variant's
 // mechanism: a (P)MwCAS descriptor or a hardware transaction.
-func (h *Handle) apply(entries []mwcas.Entry) bool {
+func (h *Handle) apply(g *guard, entries []mwcas.Entry) bool {
 	if h.l.desc != nil {
 		return h.l.desc.Apply(h.tid, entries)
 	}
-	return h.l.htmApply(h.w, entries, nil, nil) == applyOK
+	return h.l.htmApply(h.w, g, entries, nil, nil) == applyOK
 }
 
 // applyResult is the outcome of one transactional multi-word update.
@@ -463,17 +571,21 @@ const (
 
 // htmApply runs the entries — validate all Olds, run the optional extra
 // transactional step, store all News — as one hardware transaction with a
-// global-lock fallback. extra may call tx.Abort(retryCode) or
+// slow-path fallback (per-line locks in hybrid mode, the global lock
+// otherwise). extra may call tx.Abort(retryCode) or
 // tx.Abort(epoch.OldSeeNewCode). direct is the fallback-path version of
-// extra: it performs any non-entry reads/writes itself (using DirectStore)
-// and returns the outcome; entries are validated before and stored after
-// it only when it returns applyOK.
-func (l *List) htmApply(w *epoch.Worker, entries []mwcas.Entry, extra func(tx *htm.Tx), direct func() applyResult) applyResult {
+// extra: it performs any non-entry reads/writes through the session and
+// returns the outcome; entries are validated before and stored after it
+// only when it returns applyOK.
+func (l *List) htmApply(w *epoch.Worker, g *guard, entries []mwcas.Entry, extra func(tx *htm.Tx), direct func(f *htm.Fallback) applyResult) applyResult {
 	const maxRetries = 64
 	retries := 0
 	for {
 		res := l.attemptW(w, func(tx *htm.Tx) {
-			tx.Subscribe(l.lock)
+			if !l.hybrid {
+				tx.Subscribe(l.lock)
+			}
+			g.validate(tx)
 			for _, e := range entries {
 				if tx.LoadAddr(l.h, e.Addr) != e.Old {
 					tx.Abort(retryCode)
@@ -491,6 +603,9 @@ func (l *List) htmApply(w *epoch.Worker, entries []mwcas.Entry, extra func(tx *h
 			return applyOK
 		case res.Cause == htm.CauseExplicit && res.Code == retryCode:
 			return applyRetry
+		case res.Cause == htm.CauseExplicit && res.Code == recaptureCode:
+			g.capture()
+			return applyRetry
 		case res.Cause == htm.CauseExplicit && res.Code == epoch.OldSeeNewCode:
 			return applyOldSeeNew
 		case res.Cause == htm.CauseExplicit:
@@ -500,7 +615,7 @@ func (l *List) htmApply(w *epoch.Worker, entries []mwcas.Entry, extra func(tx *h
 		default:
 			retries++
 			if retries >= maxRetries {
-				return l.htmFallback(entries, direct)
+				return l.htmFallback(g, entries, direct)
 			}
 		}
 	}
@@ -516,21 +631,31 @@ func (l *List) attemptW(w *epoch.Worker, body func(tx *htm.Tx)) htm.Result {
 	return l.cfg.TM.Attempt(body)
 }
 
-func (l *List) htmFallback(entries []mwcas.Entry, direct func() applyResult) applyResult {
-	l.lock.Acquire()
-	defer l.lock.Release()
-	for _, e := range entries {
-		if l.h.Load(e.Addr) != e.Old {
-			return applyRetry
+func (l *List) htmFallback(g *guard, entries []mwcas.Entry, direct func(f *htm.Fallback) applyResult) applyResult {
+	if g.teleporting() {
+		// The lock path takes full hazard capture: session reads are not
+		// seqlock-validated, and the entries were gathered unannounced, so
+		// announce and re-find before trusting any of them.
+		g.capture()
+		return applyRetry
+	}
+	r := applyOK
+	l.cfg.TM.RunFallback(l.lock, func(f *htm.Fallback) {
+		r = applyOK
+		for _, e := range entries {
+			if f.LoadAddr(l.h, e.Addr) != e.Old {
+				r = applyRetry
+				return
+			}
 		}
-	}
-	if direct != nil {
-		if r := direct(); r != applyOK {
-			return r
+		if direct != nil {
+			if r = direct(f); r != applyOK {
+				return
+			}
 		}
-	}
-	for _, e := range entries {
-		l.cfg.TM.DirectStoreAddr(l.h, e.Addr, e.New)
-	}
-	return applyOK
+		for _, e := range entries {
+			f.StoreAddr(l.h, e.Addr, e.New)
+		}
+	})
+	return r
 }

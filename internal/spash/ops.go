@@ -49,7 +49,7 @@ retryRegist:
 retryTxn:
 	out = outcome{}
 	res := t.attempt(w, func(tx *htm.Tx) {
-		tx.Subscribe(t.lock)
+		t.subscribe(tx)
 		t.stampTx(tx, newBlk, opEpoch)
 		t.insertBody(tx, opEpoch, h, k, v, newBlk, bd, &out)
 	})
@@ -173,72 +173,88 @@ const (
 	fbOldSeeNew
 )
 
-// insertFallback performs the insert under the global lock, splitting
-// in-line if the bucket is full.
+// insertFallback performs the insert on the slow path (a fine-grained
+// session in hybrid mode, the global lock otherwise), splitting between
+// rounds if the bucket is full.
 func (t *Table) insertFallback(opEpoch, h, k, v uint64, newBlk nvm.Addr, bd bool, out *outcome) fbResult {
-	t.lock.Acquire()
-	defer t.lock.Release()
 	for {
-		*out = outcome{}
-		seg, bucket := t.locate(h)
-		base := bucket * slotsPerBucket
-		var empty *uint64
-		foundSlot := -1
-		var b nvm.Addr
-		for s := 0; s < slotsPerBucket; s++ {
-			sv := t.tm.DirectLoad(&seg.slots[base+s])
-			if sv == 0 {
-				if empty == nil {
-					empty = &seg.slots[base+s]
+		r := fbOK
+		needSplit := false
+		t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+			// The session body may restart on lock contention: reset every
+			// output first. The gate serializes hybrid fallbacks against
+			// each other and against splits.
+			r, needSplit = fbOK, false
+			*out = outcome{}
+			if f.Hybrid() {
+				f.Load(&t.fbGate)
+			}
+			seg, bucket := t.locate(h)
+			base := bucket * slotsPerBucket
+			var empty *uint64
+			foundSlot := -1
+			var b nvm.Addr
+			for s := 0; s < slotsPerBucket; s++ {
+				sv := f.Load(&seg.slots[base+s])
+				if sv == 0 {
+					if empty == nil {
+						empty = &seg.slots[base+s]
+					}
+					continue
 				}
-				continue
+				if sv>>56 != h>>56 {
+					continue
+				}
+				cand := unpackAddr(sv)
+				if f.LoadAddr(t.heap, blockKeyAddr(cand)) == k {
+					foundSlot, b = base+s, cand
+					break
+				}
 			}
-			if sv>>56 != h>>56 {
-				continue
-			}
-			cand := unpackAddr(sv)
-			if t.heap.Load(blockKeyAddr(cand)) == k {
-				foundSlot, b = base+s, cand
-				break
-			}
-		}
-		if foundSlot >= 0 {
-			if bd {
-				be := t.epochDirect(b)
-				switch {
-				case be > opEpoch:
-					return fbOldSeeNew
-				case be < opEpoch:
-					t.stampDirect(newBlk, opEpoch)
-					t.tm.DirectStore(&seg.slots[foundSlot], pack(h, newBlk))
-					out.retire, out.track, out.usedNew = b, newBlk, true
-					out.touched = newBlk
-				default:
-					t.tm.DirectStoreAddr(t.heap, blockValueAddr(b), v)
+			if foundSlot >= 0 {
+				if bd {
+					be := t.epochF(f, b)
+					switch {
+					case be > opEpoch:
+						r = fbOldSeeNew
+						return
+					case be < opEpoch:
+						t.stampF(f, newBlk, opEpoch)
+						f.Store(&seg.slots[foundSlot], pack(h, newBlk))
+						out.retire, out.track, out.usedNew = b, newBlk, true
+						out.touched = newBlk
+					default:
+						f.StoreAddr(t.heap, blockValueAddr(b), v)
+						out.touched = b
+					}
+				} else {
+					f.StoreAddr(t.heap, blockValueAddr(b), v)
 					out.touched = b
 				}
-			} else {
-				t.tm.DirectStoreAddr(t.heap, blockValueAddr(b), v)
-				out.touched = b
+				out.replaced = true
+				return
 			}
-			out.replaced = true
-			return fbOK
-		}
-		if empty == nil {
-			t.splitLocked(h)
+			if empty == nil {
+				needSplit = true
+				return
+			}
+			if bd && !t.removals.OkF(f, k, opEpoch) {
+				r = fbOldSeeNew // absence created by a newer-epoch removal
+				return
+			}
+			t.stampF(f, newBlk, opEpoch)
+			f.Store(empty, pack(h, newBlk))
+			out.usedNew = true
+			out.touched = newBlk
+			if bd {
+				out.track = newBlk
+			}
+		})
+		if needSplit {
+			t.split(h)
 			continue
 		}
-		if bd && !t.removals.Ok(t.tm, k, opEpoch) {
-			return fbOldSeeNew // absence created by a newer-epoch removal
-		}
-		t.stampDirect(newBlk, opEpoch)
-		t.tm.DirectStore(empty, pack(h, newBlk))
-		out.usedNew = true
-		out.touched = newBlk
-		if bd {
-			out.track = newBlk
-		}
-		return fbOK
+		return r
 	}
 }
 
@@ -256,11 +272,12 @@ func (t *Table) Get(k uint64) (uint64, bool) {
 		defer t.obs.EndOp(obs.OpLookup, k, t.obs.Now())
 	}
 	h := hash64(k)
+	retries := 0
 	for {
 		var v uint64
 		var ok bool
 		res := t.tm.Attempt(func(tx *htm.Tx) {
-			tx.Subscribe(t.lock)
+			t.subscribe(tx)
 			v, ok = 0, false
 			seg, bucket := t.locate(h)
 			base := bucket * slotsPerBucket
@@ -281,6 +298,27 @@ func (t *Table) Get(k uint64) (uint64, bool) {
 		}
 		if res.Cause == htm.CauseLocked {
 			t.lock.WaitUnlocked()
+		} else if retries++; t.hybrid && retries >= maxRetries {
+			// Persistently aborting read: a read-only session under the
+			// per-line locks is guaranteed to finish.
+			t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+				v, ok = 0, false
+				f.Load(&t.fbGate)
+				seg, bucket := t.locate(h)
+				base := bucket * slotsPerBucket
+				for s := 0; s < slotsPerBucket; s++ {
+					sv := f.Load(&seg.slots[base+s])
+					if sv == 0 || sv>>56 != h>>56 {
+						continue
+					}
+					b := unpackAddr(sv)
+					if f.LoadAddr(t.heap, blockKeyAddr(b)) == k {
+						v, ok = f.LoadAddr(t.heap, blockValueAddr(b)), true
+						return
+					}
+				}
+			})
+			return v, ok
 		}
 	}
 }
@@ -302,7 +340,7 @@ retryRegist:
 retryTxn:
 	victim = 0
 	res := t.attempt(w, func(tx *htm.Tx) {
-		tx.Subscribe(t.lock)
+		t.subscribe(tx)
 		seg, bucket := t.locate(h)
 		base := bucket * slotsPerBucket
 		for s := 0; s < slotsPerBucket; s++ {
@@ -366,43 +404,63 @@ retryTxn:
 }
 
 func (t *Table) removeFallback(opEpoch, h, k uint64, bd bool, victim *nvm.Addr) fbResult {
-	t.lock.Acquire()
-	defer t.lock.Release()
-	*victim = 0
-	seg, bucket := t.locate(h)
-	base := bucket * slotsPerBucket
-	for s := 0; s < slotsPerBucket; s++ {
-		sp := &seg.slots[base+s]
-		sv := t.tm.DirectLoad(sp)
-		if sv == 0 || sv>>56 != h>>56 {
-			continue
+	r := fbOK
+	t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+		r = fbOK
+		*victim = 0
+		if f.Hybrid() {
+			f.Load(&t.fbGate)
 		}
-		b := unpackAddr(sv)
-		if t.heap.Load(blockKeyAddr(b)) != k {
-			continue
+		seg, bucket := t.locate(h)
+		base := bucket * slotsPerBucket
+		for s := 0; s < slotsPerBucket; s++ {
+			sp := &seg.slots[base+s]
+			sv := f.Load(sp)
+			if sv == 0 || sv>>56 != h>>56 {
+				continue
+			}
+			b := unpackAddr(sv)
+			if f.LoadAddr(t.heap, blockKeyAddr(b)) != k {
+				continue
+			}
+			if bd && t.epochF(f, b) > opEpoch {
+				r = fbOldSeeNew
+				return
+			}
+			if bd {
+				t.removals.RaiseF(f, k, opEpoch)
+			}
+			f.Store(sp, 0)
+			*victim = b
+			return
 		}
-		if bd && t.epochDirect(b) > opEpoch {
-			return fbOldSeeNew
+		if bd && !t.removals.OkF(f, k, opEpoch) {
+			r = fbOldSeeNew // absence created by a newer-epoch removal
 		}
-		if bd {
-			t.removals.Raise(t.tm, k, opEpoch)
-		}
-		t.tm.DirectStore(sp, 0)
-		*victim = b
-		return fbOK
-	}
-	if bd && !t.removals.Ok(t.tm, k, opEpoch) {
-		return fbOldSeeNew // absence created by a newer-epoch removal
-	}
-	return fbOK
+	})
+	return r
 }
 
 // split splits the segment containing hash h (doubling the directory if
-// needed) under the global lock.
+// needed) on the slow path. In hybrid mode the session takes the fallback
+// gate, then locks the split barrier and drains in-flight commit windows:
+// from that point no transaction can commit (ver is in every hybrid
+// transaction's read set and its slot stays locked), so the native
+// dir/segs manipulation is safe. The barrier word is the session's only
+// write, and no lock is acquired after the manipulation, so a session
+// restart can only happen before any state changed.
 func (t *Table) split(h uint64) {
-	t.lock.Acquire()
-	defer t.lock.Release()
-	t.splitLocked(h)
+	t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+		if f.Hybrid() {
+			f.Load(&t.fbGate)
+			cur := f.Load(&t.ver)
+			f.DrainCommits()
+			t.splitLocked(h)
+			f.Store(&t.ver, cur+1)
+			return
+		}
+		t.splitLocked(h)
+	})
 }
 
 // splitLocked is split with the lock already held. It loops until the

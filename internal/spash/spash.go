@@ -137,6 +137,21 @@ type Table struct {
 	globalDepth atomic.Uint64
 	segs        atomic.Pointer[[]*segment] // append-only under lock
 
+	hybrid bool
+
+	// Hybrid split barriers, each on its own cache line. ver is read by
+	// every hybrid transaction in place of the global-lock subscription: a
+	// split locks and bumps it through its fallback session, excluding and
+	// aborting all transactions for exactly the split's duration. fbGate is
+	// locked first by every hybrid fallback session, serializing slow-path
+	// operations against each other and against splits (which mutate
+	// dir/segs natively) without ever conflicting with transactions.
+	_      [7]uint64
+	ver    uint64
+	_      [7]uint64
+	fbGate uint64
+	_      [7]uint64
+
 	count int64 // atomic
 	stats struct {
 		splits, doublings, coldFlushes, hotSkips atomic.Int64
@@ -169,7 +184,7 @@ func New(cfg Config) *Table {
 	if cfg.TM == nil {
 		panic("spash: TM required")
 	}
-	t := &Table{cfg: cfg, tm: cfg.TM, lock: htm.NewFallbackLock(cfg.TM), perW: make([]spashWState, 512)}
+	t := &Table{cfg: cfg, tm: cfg.TM, lock: htm.NewFallbackLock(cfg.TM), hybrid: cfg.TM.Hybrid(), perW: make([]spashWState, 512)}
 	switch cfg.Mode {
 	case ModeBD:
 		if cfg.Sys == nil {
@@ -233,8 +248,9 @@ func unpackAddr(s uint64) nvm.Addr        { return nvm.Addr(s & (1<<48 - 1)) }
 
 // locate returns the segment and bucket for a hash under the current
 // directory. The pointers are read non-transactionally; structural
-// changes happen only under the fallback lock, which every transaction
-// subscribes to, so a transaction that raced a split cannot commit.
+// changes happen only on the slow path behind the split barrier (global
+// lock subscription, or the hybrid ver word — see subscribe), so a
+// transaction that raced a split cannot commit.
 func (t *Table) locate(h uint64) (seg *segment, bucket int) {
 	dir := *t.dir.Load()
 	segs := *t.segs.Load()
@@ -302,11 +318,11 @@ func (t *Table) stampTx(tx *htm.Tx, b nvm.Addr, e uint64) {
 	tx.StoreAddr(t.heap, b, hdr)
 }
 
-// stampDirect is stampTx for the fallback path.
-func (t *Table) stampDirect(b nvm.Addr, e uint64) {
-	hdr := t.heap.Load(b)
+// stampF is stampTx through a fallback session.
+func (t *Table) stampF(f *htm.Fallback, b nvm.Addr, e uint64) {
+	hdr := f.LoadAddr(t.heap, b)
 	hdr = hdr&^(palloc.InvalidEpoch) | e
-	t.tm.DirectStoreAddr(t.heap, b, hdr)
+	f.StoreAddr(t.heap, b, hdr)
 }
 
 // resetEpochDirect re-invalidates an unused preallocated block.
@@ -319,6 +335,17 @@ func (t *Table) epochTx(tx *htm.Tx, b nvm.Addr) uint64 {
 	return tx.LoadAddr(t.heap, b) & palloc.InvalidEpoch
 }
 
-func (t *Table) epochDirect(b nvm.Addr) uint64 {
-	return t.heap.Load(b) & palloc.InvalidEpoch
+func (t *Table) epochF(f *htm.Fallback, b nvm.Addr) uint64 {
+	return f.LoadAddr(t.heap, b) & palloc.InvalidEpoch
+}
+
+// subscribe orders a transaction against structural changes: global mode
+// subscribes to the fallback lock; hybrid mode reads the split barrier,
+// which a split locks and bumps for its duration.
+func (t *Table) subscribe(tx *htm.Tx) {
+	if t.hybrid {
+		tx.Load(&t.ver)
+	} else {
+		tx.Subscribe(t.lock)
+	}
 }

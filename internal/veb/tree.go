@@ -47,13 +47,14 @@ type Config struct {
 // Tree is a concurrent vEB tree mapping keys in [0, 2^UniverseBits) to
 // uint64 values.
 type Tree struct {
-	cfg   Config
-	tm    *htm.TM
-	sys   *epoch.System // nil for transient
-	pool  *pool
-	root  uint64
-	lock  *htm.FallbackLock
-	count atomic.Int64
+	cfg    Config
+	tm     *htm.TM
+	sys    *epoch.System // nil for transient
+	pool   *pool
+	root   uint64
+	lock   *htm.FallbackLock
+	hybrid bool // fine-grained slow path: no global subscription
+	count  atomic.Int64
 
 	// removals guards the fresh-insert path against acting on an absence
 	// created by a newer-epoch removal (see epoch.RemovalStamps).
@@ -78,12 +79,13 @@ func New(cfg Config) *Tree {
 		panic("veb: TM required")
 	}
 	t := &Tree{
-		cfg:  cfg,
-		tm:   cfg.TM,
-		sys:  cfg.DataSys,
-		pool: newPool(),
-		lock: htm.NewFallbackLock(cfg.TM),
-		perW: make([]vebWState, 512),
+		cfg:    cfg,
+		tm:     cfg.TM,
+		sys:    cfg.DataSys,
+		pool:   newPool(),
+		lock:   htm.NewFallbackLock(cfg.TM),
+		hybrid: cfg.TM.Hybrid(),
+		perW:   make([]vebWState, 512),
 	}
 	t.root = t.pool.alloc(cfg.UniverseBits)
 	return t
@@ -128,6 +130,7 @@ func (t *Tree) Get(k uint64) (uint64, bool) {
 		defer t.obs.EndOp(obs.OpLookup, k, t.obs.Now())
 	}
 	preWalked := false
+	retries := 0
 	for {
 		var v uint64
 		var ok bool
@@ -136,7 +139,9 @@ func (t *Tree) Get(k uint64) (uint64, bool) {
 			opts = append(opts, htm.PreWalked())
 		}
 		res := t.tm.Attempt(func(tx *htm.Tx) {
-			tx.Subscribe(t.lock)
+			if !t.hybrid {
+				tx.Subscribe(t.lock)
+			}
 			m := txMem{tx}
 			v, ok = 0, false
 			if slot := t.findSlot(m, t.rootNode(), k); slot != nil {
@@ -156,6 +161,23 @@ func (t *Tree) Get(k uint64) (uint64, bool) {
 		case htm.CauseMemType:
 			t.preWalk(k)
 			preWalked = true
+		default:
+			// On the hybrid path there is no global lock to wait out, so a
+			// persistently aborting read escapes into a read-only session.
+			if retries++; t.hybrid && retries >= maxRetries {
+				t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+					m := fbMem{f}
+					v, ok = 0, false
+					if slot := t.findSlot(m, t.rootNode(), k); slot != nil {
+						v = m.load(slot)
+						if t.sys != nil {
+							v = t.sys.BlockAt(nvm.Addr(v)).ValueF(f)
+						}
+						ok = true
+					}
+				})
+				return v, ok
+			}
 		}
 	}
 }
@@ -170,11 +192,14 @@ func (t *Tree) Contains(k uint64) bool {
 // value.
 func (t *Tree) Successor(k uint64) (uint64, uint64, bool) {
 	t.checkKey(k)
+	retries := 0
 	for {
 		var sk, v uint64
 		var ok bool
 		res := t.tm.Attempt(func(tx *htm.Tx) {
-			tx.Subscribe(t.lock)
+			if !t.hybrid {
+				tx.Subscribe(t.lock)
+			}
 			m := txMem{tx}
 			sk = t.succRec(m, t.rootNode(), k)
 			if sk == EMPTY {
@@ -193,6 +218,22 @@ func (t *Tree) Successor(k uint64) (uint64, uint64, bool) {
 		}
 		if res.Cause == htm.CauseLocked {
 			t.lock.WaitUnlocked()
+		} else if retries++; t.hybrid && retries >= maxRetries {
+			t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+				m := fbMem{f}
+				sk, v, ok = 0, 0, false
+				sk = t.succRec(m, t.rootNode(), k)
+				if sk == EMPTY {
+					return
+				}
+				slot := t.findSlot(m, t.rootNode(), sk)
+				v = m.load(slot)
+				if t.sys != nil {
+					v = t.sys.BlockAt(nvm.Addr(v)).ValueF(f)
+				}
+				ok = true
+			})
+			return sk, v, ok
 		}
 	}
 }
@@ -245,7 +286,9 @@ func (t *Tree) insertTransient(k, v uint64) bool {
 			opts = append(opts, htm.PreWalked())
 		}
 		res := t.tm.Attempt(func(tx *htm.Tx) {
-			tx.Subscribe(t.lock)
+			if !t.hybrid {
+				tx.Subscribe(t.lock)
+			}
 			m := txMem{tx}
 			slot, inserted := t.insertRec(m, t.rootNode(), k, v)
 			if !inserted {
@@ -267,14 +310,15 @@ func (t *Tree) insertTransient(k, v uint64) bool {
 		default:
 			retries++
 			if retries >= maxRetries {
-				t.lock.Acquire()
-				m := directMem{t.tm}
-				slot, inserted := t.insertRec(m, t.rootNode(), k, v)
-				if !inserted {
-					m.store(slot, v)
-					replaced = true
-				}
-				t.lock.Release()
+				t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+					m := fbMem{f}
+					replaced = false
+					slot, inserted := t.insertRec(m, t.rootNode(), k, v)
+					if !inserted {
+						m.store(slot, v)
+						replaced = true
+					}
+				})
 				if !replaced {
 					t.count.Add(1)
 				}
@@ -306,7 +350,9 @@ retryTxn:
 		opts = append(opts, htm.PreWalked())
 	}
 	res := w.Attempt(t.tm, func(tx *htm.Tx) {
-		tx.Subscribe(t.lock)
+		if !t.hybrid {
+			tx.Subscribe(t.lock)
+		}
 		m := txMem{tx}
 		newBlk.SetEpochTx(tx, opEpoch)
 		slot, inserted := t.insertRec(m, t.rootNode(), k, uint64(newBlk.Addr()))
@@ -372,47 +418,47 @@ retryTxn:
 	return replaced
 }
 
-// insertFallback performs the insert under the global lock; it returns
+// insertFallback performs the insert on the slow path — a fine-grained
+// fallback session in hybrid mode, the global lock otherwise; it returns
 // false if the operation must restart in a newer epoch.
 func (t *Tree) insertFallback(w *epoch.Worker, opEpoch, k, v uint64, newBlk epoch.Block,
 	retire, persist *epoch.Block, usedPrealloc, replaced *bool) bool {
-	t.lock.Acquire()
-	defer t.lock.Release()
-	*retire, *persist = epoch.Block{}, epoch.Block{}
-	*usedPrealloc, *replaced = false, false
-	m := directMem{t.tm}
-	if slot := t.findSlot(m, t.rootNode(), k); slot != nil {
-		blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
-		be := blk.Epoch()
-		switch {
-		case be > opEpoch:
-			return false
-		case be < opEpoch:
-			t.stampEpochDirect(newBlk, opEpoch)
-			m.store(slot, uint64(newBlk.Addr()))
-			*retire, *persist, *usedPrealloc = blk, newBlk, true
-		default:
-			m.storeHeap(t.sys.Heap(), blk.Payload(1), v)
+	ok := true
+	t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+		// The session body may restart on lock contention: every output is
+		// reset here, and all shared writes are buffered until it finishes.
+		ok = true
+		*retire, *persist = epoch.Block{}, epoch.Block{}
+		*usedPrealloc, *replaced = false, false
+		m := fbMem{f}
+		if slot := t.findSlot(m, t.rootNode(), k); slot != nil {
+			blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
+			be := blk.EpochF(f)
+			switch {
+			case be > opEpoch:
+				ok = false
+				return
+			case be < opEpoch:
+				newBlk.SetEpochF(f, opEpoch)
+				m.store(slot, uint64(newBlk.Addr()))
+				*retire, *persist, *usedPrealloc = blk, newBlk, true
+			default:
+				m.storeHeap(t.sys.Heap(), blk.Payload(1), v)
+			}
+			*replaced = true
+			return
 		}
-		*replaced = true
-		return true
-	}
-	if !t.removals.Ok(t.tm, k, opEpoch) {
-		return false // absence created by a newer-epoch removal
-	}
-	t.stampEpochDirect(newBlk, opEpoch)
-	if _, inserted := t.insertRec(m, t.rootNode(), k, uint64(newBlk.Addr())); !inserted {
-		panic("veb: key appeared during fallback insert despite the lock")
-	}
-	*persist, *usedPrealloc = newBlk, true
-	return true
-}
-
-func (t *Tree) stampEpochDirect(b epoch.Block, e uint64) {
-	h := t.sys.Heap()
-	hdr := h.Load(b.Addr())
-	hdr = hdr&^((uint64(1)<<48)-1) | e
-	t.tm.DirectStoreAddr(h, b.Addr(), hdr)
+		if !t.removals.OkF(f, k, opEpoch) {
+			ok = false // absence created by a newer-epoch removal
+			return
+		}
+		newBlk.SetEpochF(f, opEpoch)
+		if _, inserted := t.insertRec(m, t.rootNode(), k, uint64(newBlk.Addr())); !inserted {
+			panic("veb: key appeared during fallback insert despite the slow-path locks")
+		}
+		*persist, *usedPrealloc = newBlk, true
+	})
+	return ok
 }
 
 // Remove deletes k, reporting whether it was present.
@@ -432,7 +478,9 @@ func (t *Tree) removeTransient(k uint64) bool {
 	for {
 		var removed bool
 		res := t.tm.Attempt(func(tx *htm.Tx) {
-			tx.Subscribe(t.lock)
+			if !t.hybrid {
+				tx.Subscribe(t.lock)
+			}
 			m := txMem{tx}
 			_, removed = t.removeRec(m, t.rootNode(), k)
 		})
@@ -447,10 +495,10 @@ func (t *Tree) removeTransient(k uint64) bool {
 		default:
 			retries++
 			if retries >= maxRetries {
-				t.lock.Acquire()
-				m := directMem{t.tm}
-				_, removed = t.removeRec(m, t.rootNode(), k)
-				t.lock.Release()
+				t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+					m := fbMem{f}
+					_, removed = t.removeRec(m, t.rootNode(), k)
+				})
 				if removed {
 					t.count.Add(-1)
 				}
@@ -468,7 +516,9 @@ retryRegist:
 retryTxn:
 	retire = epoch.Block{}
 	res := w.Attempt(t.tm, func(tx *htm.Tx) {
-		tx.Subscribe(t.lock)
+		if !t.hybrid {
+			tx.Subscribe(t.lock)
+		}
 		m := txMem{tx}
 		val, ok := t.removeRec(m, t.rootNode(), k)
 		if !ok {
@@ -513,25 +563,29 @@ retryTxn:
 }
 
 func (t *Tree) removeFallback(w *epoch.Worker, opEpoch, k uint64, retire *epoch.Block) bool {
-	t.lock.Acquire()
-	defer t.lock.Release()
-	*retire = epoch.Block{}
-	m := directMem{t.tm}
-	slot := t.findSlot(m, t.rootNode(), k)
-	if slot == nil {
-		// Absent: restart in a newer epoch if a newer removal made it so.
-		return t.removals.Ok(t.tm, k, opEpoch)
-	}
-	blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
-	if blk.Epoch() > opEpoch {
-		return false
-	}
-	if _, ok := t.removeRec(m, t.rootNode(), k); !ok {
-		panic("veb: key vanished during fallback remove despite the lock")
-	}
-	t.removals.Raise(t.tm, k, opEpoch)
-	*retire = blk
-	return true
+	ok := true
+	t.tm.RunFallback(t.lock, func(f *htm.Fallback) {
+		ok = true
+		*retire = epoch.Block{}
+		m := fbMem{f}
+		slot := t.findSlot(m, t.rootNode(), k)
+		if slot == nil {
+			// Absent: restart in a newer epoch if a newer removal made it so.
+			ok = t.removals.OkF(f, k, opEpoch)
+			return
+		}
+		blk := t.sys.BlockAt(nvm.Addr(m.load(slot)))
+		if blk.EpochF(f) > opEpoch {
+			ok = false
+			return
+		}
+		if _, removed := t.removeRec(m, t.rootNode(), k); !removed {
+			panic("veb: key vanished during fallback remove despite the slow-path locks")
+		}
+		t.removals.RaiseF(f, k, opEpoch)
+		*retire = blk
+	})
+	return ok
 }
 
 // RebuildBlock reinserts one recovered KV block into a fresh persistent
